@@ -1,0 +1,19 @@
+"""Shared benchmark helpers."""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark timer and return its
+    result.  Simulation experiments are deterministic, so one round is
+    both sufficient and honest (re-running would measure the same
+    events)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _once(fn):
+        return run_once(benchmark, fn)
+
+    return _once

@@ -1,0 +1,39 @@
+"""Bench: Figure 5 — GM-level multicast, 4/8/16 nodes.
+
+Paper shape to hold: the NIC-based scheme wins at every size and system
+size; the improvement factor on 16 nodes dips for single-packet 2-4 KB
+messages relative to small messages; 16 KB recovers via per-packet
+pipelined forwarding; larger systems see larger factors.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_gm_multicast(once):
+    result = once(
+        lambda: fig5.run(quick=False, sizes=[1, 512, 2048, 4096, 16384])
+    )
+    print()
+    print(result.render())
+
+    f16 = result.get("factor-16")
+    # NB wins everywhere on 16 nodes.
+    assert all(y > 1.2 for y in f16.ys())
+    # Paper: ~1.48 for small messages (we land 1.6-1.9).
+    assert 1.4 < f16.y_at(512) < 2.1
+    # The 2-4 KB dip: single-packet messages benefit least.
+    assert f16.y_at(4096) < f16.y_at(1)
+    assert f16.y_at(2048) < f16.y_at(1)
+    # 16 KB recovers from the dip (pipelined forwarding).
+    assert f16.y_at(16384) >= f16.y_at(4096) - 0.05
+
+    # Factor grows with system size for small messages.
+    assert (
+        result.get("factor-4").y_at(1)
+        < result.get("factor-8").y_at(1)
+        < f16.y_at(1)
+    )
+
+    # Absolute regime check: HB 16 nodes 16 KB landed near the paper's
+    # ~650 us on comparable hardware constants.
+    assert 450 < result.get("HB-16").y_at(16384) < 850

@@ -1,0 +1,80 @@
+"""Bench: §7 claim — reliability without a centralized manager.
+
+Measures multicast latency degradation under increasing packet loss:
+delivery must stay correct at every rate, latency must degrade
+gracefully, and retransmissions must target only laggards.
+"""
+
+from statistics import mean
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mcast.manager import install_group, next_group_id, nic_based_multicast
+from repro.net import BernoulliLoss
+from repro.trees import build_tree
+
+
+def lossy_multicast_run(rate, n=8, size=1024, rounds=15, seed=11):
+    cluster = Cluster(
+        ClusterConfig(n_nodes=n, seed=seed),
+        loss=BernoulliLoss(rate) if rate else None,
+    )
+    tree = build_tree(0, range(1, n), shape="optimal",
+                      cost=cluster.cost, size=size)
+    gid = next_group_id()
+    install_group(cluster, gid, tree)
+    durations = []
+    deliveries = {i: 0 for i in range(1, n)}
+
+    def root():
+        for _ in range(rounds):
+            start = cluster.now
+            handle = yield from nic_based_multicast(cluster, gid, size, 0)
+            yield handle.done
+            durations.append(cluster.now - start)
+
+    def rx(i):
+        port = cluster.port(i)
+        for _ in range(rounds):
+            yield from port.receive()
+            deliveries[i] += 1
+            yield from port.provide_receive_buffer()
+
+    procs = [cluster.spawn(root())] + [
+        cluster.spawn(rx(i)) for i in range(1, n)
+    ]
+    cluster.run(until=cluster.sim.all_of(procs))
+    cluster.run()
+    retrans = sum(node.mcast.retransmissions for node in cluster.nodes)
+    return {
+        "latency": mean(durations),
+        "deliveries": deliveries,
+        "retransmissions": retrans,
+        "drops": cluster.network.dropped,
+    }
+
+
+def test_multicast_under_loss(once):
+    rates = (0.0, 0.02, 0.05, 0.10)
+
+    def sweep():
+        return {rate: lossy_multicast_run(rate) for rate in rates}
+
+    results = once(sweep)
+    print()
+    print(f"{'loss rate':>10} {'latency us':>11} {'drops':>6} {'retrans':>8}")
+    for rate, res in results.items():
+        print(f"{rate:>10.2f} {res['latency']:>11.1f} "
+              f"{res['drops']:>6} {res['retransmissions']:>8}")
+        # Exactly-once delivery at every rate.
+        assert all(c == 15 for c in res["deliveries"].values()), rate
+
+    # Loss-free run: zero retransmissions (timers never fire).
+    assert results[0.0]["retransmissions"] == 0
+    # Latency degrades monotonically-ish but stays bounded: even at 10%
+    # loss the mean stays within ~8x of the loss-free mean (timeouts
+    # are 400us against a ~40us loss-free multicast).
+    assert results[0.10]["latency"] < 8 * results[0.0]["latency"]
+    # Retransmissions scale with drops, not with fan-out: no storms.
+    lossy = results[0.10]
+    assert lossy["retransmissions"] < 25 * lossy["drops"]

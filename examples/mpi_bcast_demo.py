@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""MPI-level demo: broadcast real payloads with both implementations.
+
+Shows the MPICH-GM integration: communicators over GM ports, the
+demand-driven group creation on the first NIC-based broadcast, eager vs
+rendezvous point-to-point, and the latency difference per message size.
+
+Run:  python examples/mpi_bcast_demo.py
+"""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mpi import Communicator
+
+
+def bcast_demo(nic: bool) -> None:
+    label = "NIC-based" if nic else "host-based"
+    cluster = Cluster(ClusterConfig(n_nodes=8))
+    comm = Communicator(cluster, nic_bcast=nic)
+    results = {}
+
+    def program(ctx):
+        # Every rank broadcasts a dict from rank 3; the payload really
+        # travels through the simulated stack (in packet headers).
+        value = {"model": "lanai9", "round": 1} if ctx.rank == 3 else None
+        value = yield from ctx.bcast(root=3, size=2048, payload=value)
+        results[ctx.rank] = value
+        # Second bcast reuses the (demand-created) group.
+        t0 = ctx.sim.now
+        yield from ctx.bcast(root=3, size=2048, payload=value)
+        if ctx.rank == 3:
+            results["second_latency"] = ctx.sim.now - t0
+
+    comm.run(program)
+    ok = all(results[r] == {"model": "lanai9", "round": 1} for r in range(8))
+    print(f"{label:11s}: payload correct on all ranks: {ok}, "
+          f"steady-state root latency {results['second_latency']:.1f} us")
+
+
+def p2p_demo() -> None:
+    cluster = Cluster(ClusterConfig(n_nodes=2))
+    comm = Communicator(cluster)
+    log = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 1_000, tag=1, payload="eager path")
+            yield from ctx.send(1, 100_000, tag=2, payload="rendezvous path")
+        else:
+            for tag in (1, 2):
+                entry = yield from ctx.recv(source=0, tag=tag)
+                log.append((entry["size"], entry["kind"], entry["payload"]))
+
+    comm.run(program)
+    for size, kind, payload in log:
+        print(f"p2p {size:>7}B via {kind:9s}: {payload!r}")
+
+
+def main() -> None:
+    print("== MPI_Bcast implementations ==")
+    bcast_demo(nic=False)
+    bcast_demo(nic=True)
+    print("\n== point-to-point protocols ==")
+    p2p_demo()
+
+
+if __name__ == "__main__":
+    main()

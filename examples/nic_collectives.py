@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The paper's future work, running: NIC-based barrier, allreduce, and
+RDMA broadcast.
+
+§7 of the paper: "we intend to expand the NIC-based support to other
+collective operations, for example, Allreduce" and "to study the
+NIC-based multicast using remote DMA operations".  Both are implemented
+as extensions in ``repro.coll`` — contributions combine *on the LANais*
+up the multicast tree, results ride the forwarding machinery down, and
+large broadcasts go zero-copy through a rendezvous.
+
+Run:  python examples/nic_collectives.py
+"""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mpi import Communicator
+
+
+def allreduce_demo() -> None:
+    n = 16
+    print(f"== allreduce over {n} ranks (sum of rank ids) ==")
+    for nic in (False, True):
+        cluster = Cluster(ClusterConfig(n_nodes=n))
+        comm = Communicator(cluster)
+        times = {}
+        outs = {}
+
+        def program(ctx):
+            yield from ctx.allreduce(0, nic=True)  # group-creation warmup
+            yield from ctx.barrier()
+            t0 = ctx.sim.now
+            outs[ctx.rank] = yield from ctx.allreduce(ctx.rank, nic=nic)
+            times[ctx.rank] = ctx.sim.now - t0
+
+        comm.run(program)
+        label = "NIC-based " if nic else "host-based"
+        ok = all(v == n * (n - 1) // 2 for v in outs.values())
+        print(f"  {label}: result correct={ok}, "
+              f"latency {max(times.values()):.1f} us")
+
+
+def barrier_demo() -> None:
+    print("\n== barrier: dissemination vs NIC tree sweep ==")
+    for n in (8, 32):
+        cluster = Cluster(ClusterConfig(n_nodes=n))
+        comm = Communicator(cluster)
+        out = {}
+
+        def program(ctx):
+            yield from ctx.barrier(nic=True)  # warmup
+            t0 = ctx.sim.now
+            yield from ctx.barrier(nic=False)
+            t_host = ctx.sim.now - t0
+            t0 = ctx.sim.now
+            yield from ctx.barrier(nic=True)
+            out[ctx.rank] = (t_host, ctx.sim.now - t0)
+
+        comm.run(program)
+        host = max(t for t, _ in out.values())
+        nic = max(t for _, t in out.values())
+        print(f"  {n:2d} ranks: dissemination {host:6.1f} us, "
+              f"NIC barrier {nic:6.1f} us ({host / nic:.2f}x)")
+
+
+def rdma_bcast_demo() -> None:
+    print("\n== 64 KB broadcast (beyond the eager limit) ==")
+    for rdma in (False, True):
+        cluster = Cluster(ClusterConfig(n_nodes=16))
+        comm = Communicator(cluster, nic_bcast_rdma=rdma)
+        times = {}
+
+        def program(ctx):
+            yield from ctx.bcast(root=0, size=65536)  # warmup
+            yield from ctx.barrier()
+            t0 = ctx.sim.now
+            yield from ctx.bcast(root=0, size=65536)
+            times[ctx.rank] = ctx.sim.now - t0
+
+        comm.run(program)
+        label = "NIC rdma multicast" if rdma else "host rendezvous   "
+        print(f"  {label}: {max(times.values()):8.1f} us")
+
+
+def allgather_demo() -> None:
+    print("\n== all-to-all broadcast (allgather), 12 ranks, 1 KB blocks ==")
+    for nic in (False, True):
+        cluster = Cluster(ClusterConfig(n_nodes=12))
+        comm = Communicator(cluster)
+        times = {}
+        outs = {}
+
+        def program(ctx):
+            yield from ctx.allgather(1024, value=0, nic=nic)  # warmup
+            yield from ctx.barrier()
+            t0 = ctx.sim.now
+            outs[ctx.rank] = yield from ctx.allgather(
+                1024, value=ctx.rank * 11, nic=nic
+            )
+            times[ctx.rank] = ctx.sim.now - t0
+
+        comm.run(program)
+        label = "NIC multicasts" if nic else "ring          "
+        ok = all(v == [r * 11 for r in range(12)] for v in outs.values())
+        print(f"  {label}: correct={ok}, latency {max(times.values()):.1f} us")
+
+
+if __name__ == "__main__":
+    allreduce_demo()
+    barrier_demo()
+    rdma_bcast_demo()
+    allgather_demo()

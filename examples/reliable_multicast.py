@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Reliability demo: multicast over a lossy network.
+
+Injects deterministic and random packet loss and shows the per-group
+reliability machinery (per-child ack arrays, selective Go-back-N from
+registered host memory) recovering — every destination still gets every
+message, exactly once and in order.
+
+Run:  python examples/reliable_multicast.py
+"""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mcast.manager import install_group, next_group_id, nic_based_multicast
+from repro.net import BernoulliLoss, PacketType, ScriptedLoss
+from repro.trees import build_tree
+
+
+def scripted_loss_demo() -> None:
+    print("--- scripted loss: drop the first data packet to node 2 ---")
+    loss = ScriptedLoss(
+        lambda p: p.header.ptype is PacketType.MCAST_DATA and p.header.dst == 2
+    )
+    cluster = Cluster(ClusterConfig(n_nodes=4, trace=True), loss=loss)
+    tree = build_tree(0, [1, 2, 3], shape="chain")
+    gid = next_group_id()
+    install_group(cluster, gid, tree)
+    delivered = {}
+
+    def root():
+        handle = yield from nic_based_multicast(cluster, gid, 512, 0)
+        yield handle.done
+
+    def rx(i):
+        completion = yield from cluster.port(i).receive()
+        delivered[i] = (cluster.now, completion.msg_id)
+
+    procs = [cluster.spawn(root())] + [cluster.spawn(rx(i)) for i in (1, 2, 3)]
+    cluster.run(until=cluster.sim.all_of(procs))
+
+    for rec in cluster.sim.trace.filter(category="pkt_drop"):
+        print(f"  t={rec.time:8.2f}  DROPPED {rec['ptype']} "
+              f"{rec['src']}->{rec['dst']} seq={rec['seq']}")
+    for rec in cluster.sim.trace.filter(category="mcast_timeout"):
+        print(f"  t={rec.time:8.2f}  node timeout, unacked children: "
+              f"{rec['unacked']}")
+    for rec in cluster.sim.trace.filter(category="mcast_retransmit"):
+        print(f"  t={rec.time:8.2f}  retransmit seq={rec['seq']} "
+              f"-> child {rec['child']} (attempt {rec['attempt']})")
+    for node, (t, msg) in sorted(delivered.items()):
+        print(f"  node {node}: delivered msg {msg} at t={t:.2f} us")
+    print()
+
+
+def random_loss_demo() -> None:
+    print("--- random loss: 15% of all packets, 10 multicasts ---")
+    cluster = Cluster(
+        ClusterConfig(n_nodes=6, seed=7), loss=BernoulliLoss(0.15)
+    )
+    tree = build_tree(0, range(1, 6), shape="optimal",
+                      cost=cluster.cost, size=256)
+    gid = next_group_id()
+    install_group(cluster, gid, tree)
+    received = {i: [] for i in range(1, 6)}
+
+    def root():
+        for k in range(10):
+            yield from nic_based_multicast(cluster, gid, 256 + k, 0)
+
+    def rx(i):
+        port = cluster.port(i)
+        for _ in range(10):
+            completion = yield from port.receive()
+            received[i].append(completion.size)
+            yield from port.provide_receive_buffer()
+
+    procs = [cluster.spawn(root())] + [cluster.spawn(rx(i)) for i in range(1, 6)]
+    cluster.run(until=cluster.sim.all_of(procs))
+    cluster.run()  # drain every straggling ack/timer
+
+    retrans = sum(n.mcast.retransmissions for n in cluster.nodes)
+    print(f"  network drops: {cluster.network.dropped}, "
+          f"retransmissions: {retrans}")
+    for i in range(1, 6):
+        in_order = received[i] == [256 + k for k in range(10)]
+        print(f"  node {i}: {len(received[i])}/10 messages, "
+              f"in order: {in_order}")
+    held = sum(len(s.held) for n in cluster.nodes
+               for s in n.mcast.table._groups.values())
+    print(f"  leaked forwarding state after drain: {held} (must be 0)")
+
+
+if __name__ == "__main__":
+    scripted_loss_demo()
+    random_loss_demo()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Process-skew tolerance (the paper's §6.3 headline).
+
+Skewed processes reach MPI_Bcast at different times.  With the
+host-based broadcast, a delayed intermediate process stalls its whole
+subtree; with the NIC-based broadcast, the NIC forwards regardless of
+what the host process is doing.  This script sweeps the skew and prints
+the mean host CPU time spent inside MPI_Bcast for both schemes.
+
+Run:  python examples/skew_tolerance.py
+"""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mpi import Communicator, run_skew_experiment
+
+
+def point(n, nic, max_skew, size=4):
+    cluster = Cluster(ClusterConfig(n_nodes=n, seed=3))
+    comm = Communicator(cluster, nic_bcast=nic)
+    return run_skew_experiment(
+        comm, size=size, max_skew=max_skew, iterations=20, warmup=3
+    )
+
+
+def main() -> None:
+    n, size = 16, 4
+    print(f"MPI_Bcast host CPU time vs process skew "
+          f"({n} ranks, {size}-byte broadcasts)\n")
+    print(f"{'mean skew':>10} {'host-based':>12} {'NIC-based':>12} {'factor':>8}")
+    for max_skew in (0.0, 400.0, 800.0, 1600.0, 3200.0):
+        hb = point(n, False, max_skew, size)
+        nb = point(n, True, max_skew, size)
+        factor = hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
+        print(f"{hb.mean_applied_skew:9.0f}u {hb.mean_bcast_cpu_time:11.1f}u "
+              f"{nb.mean_bcast_cpu_time:11.1f}u {factor:8.2f}")
+    print("\nhost-based CPU time grows with skew (ancestors gate their")
+    print("subtrees); NIC-based stays flat — the NICs forward on their own.")
+
+
+if __name__ == "__main__":
+    main()

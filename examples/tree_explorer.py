@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Tree explorer: how the optimal multicast tree changes with size.
+
+The Bar-Noy/Kipnis postal-model tree adapts its fan-out to the message
+size: small messages get wide, shallow trees (replicas are almost free),
+single-packet kilobyte messages get binomial-like trees, and long
+pipelined messages get narrow, deep ones.  This script prints the tree
+for several sizes, the model's predicted completion time, and the
+simulated latency for each shape.
+
+Run:  python examples/tree_explorer.py
+"""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+from repro.mcast import multicast
+from repro.trees import (
+    build_tree,
+    postal_completion_time,
+    postal_params,
+    tree_stats,
+)
+
+
+def render_tree(tree, node=None, depth=0):
+    node = tree.root if node is None else node
+    lines = ["  " * depth + f"{node}"]
+    for child in tree.children_of(node):
+        lines.extend(render_tree(tree, child, depth + 1))
+    return lines
+
+
+def main() -> None:
+    cost = GMCostModel()
+    n = 16
+    print(f"optimal multicast trees, {n} nodes, varying message size\n")
+    for size in (4, 512, 4096, 16384):
+        params = postal_params(cost, size, scheme="nic")
+        tree = build_tree(0, range(1, n), shape="optimal",
+                          cost=cost, size=size)
+        stats = tree_stats(tree)
+        predicted = postal_completion_time(tree, params)
+        cluster = Cluster(ClusterConfig(n_nodes=n))
+        simulated = max(multicast(cluster, tree, size)["delivered"].values())
+        print(f"== {size} bytes: fan-out ratio {params.fanout_ratio:.2f} "
+              f"(L={params.l_ready:.1f}us, g={params.gap:.1f}us)")
+        print(f"   depth {stats.depth}, root fan-out {stats.root_fanout}, "
+              f"mean fan-out {stats.mean_fanout:.1f}")
+        print(f"   model-predicted completion {predicted:.1f} us, "
+              f"simulated {simulated:.1f} us")
+        for line in render_tree(tree):
+            print("   " + line)
+        print()
+
+    print("shape comparison at 16 KB (simulated latency):")
+    for shape in ("optimal", "binomial", "chain", "flat"):
+        tree = build_tree(0, range(1, n), shape=shape, cost=cost, size=16384)
+        cluster = Cluster(ClusterConfig(n_nodes=n))
+        lat = max(multicast(cluster, tree, 16384)["delivered"].values())
+        print(f"  {shape:9s} depth={tree_stats(tree).depth:2d}  {lat:8.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — reproduction of NIC-based multicast over Myrinet/GM-2 (ICPP 2003).
+
+The package simulates the complete stack the paper builds on — a
+Myrinet-like network, LANai-class NICs, the GM user-level protocol — and
+implements the paper's NIC-based multisend/forwarding multicast scheme plus
+the baselines it compares against, all driven by a deterministic
+discrete-event simulator.
+
+Public API highlights
+---------------------
+- :class:`repro.cluster.Cluster` / :class:`repro.config.ClusterConfig` —
+  build a simulated system and run operations on it.
+- :class:`repro.gm.params.GMCostModel` — all timing constants.
+- :mod:`repro.mcast` — the paper's scheme and its baselines.
+- :mod:`repro.trees` — binomial and postal-model optimal spanning trees.
+- :mod:`repro.mpi` — the MPICH-GM layer (bcast/barrier/allreduce/allgather).
+- :mod:`repro.coll` — NIC-based collective extensions (§7 future work).
+- :mod:`repro.experiments` — regenerate every figure in the paper.
+"""
+
+from repro._version import __version__
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+
+__all__ = ["Cluster", "ClusterConfig", "GMCostModel", "__version__"]

@@ -1,0 +1,21 @@
+"""Post-run analysis: where did the time go?
+
+Utilization reports over a cluster's resources (LANai processors, PCI
+buses, SRAM copy engines, links) — the evidence trail behind the
+performance comparisons: host-based forwarding burns PCI at every
+intermediate, the NIC-based scheme burns a little LANai instead.
+"""
+
+from repro.analysis.utilization import (
+    ClusterUtilization,
+    NodeUtilization,
+    cluster_utilization,
+    render_utilization,
+)
+
+__all__ = [
+    "ClusterUtilization",
+    "NodeUtilization",
+    "cluster_utilization",
+    "render_utilization",
+]

@@ -1,0 +1,121 @@
+"""Cluster resource-utilization reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.experiments.report import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster import Cluster
+
+__all__ = [
+    "NodeUtilization",
+    "ClusterUtilization",
+    "cluster_utilization",
+    "render_utilization",
+]
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """Busy time (µs) of one node's engines."""
+
+    node: int
+    nic_cpu: float
+    pci: float
+    copy_engine: float
+    host_compute: float
+    packets_sent: int
+    packets_received: int
+
+
+@dataclass(frozen=True)
+class ClusterUtilization:
+    """Aggregate utilization over a finished (or paused) run."""
+
+    elapsed: float
+    nodes: tuple[NodeUtilization, ...]
+    #: total bytes carried per link name, busiest first
+    link_bytes: tuple[tuple[str, int], ...]
+    wire_bytes_total: int
+
+    @property
+    def total_nic_cpu(self) -> float:
+        return sum(n.nic_cpu for n in self.nodes)
+
+    @property
+    def total_pci(self) -> float:
+        return sum(n.pci for n in self.nodes)
+
+    @property
+    def total_copy(self) -> float:
+        return sum(n.copy_engine for n in self.nodes)
+
+    def node_fraction(self, node: int, engine: str) -> float:
+        """Busy fraction of one engine over the elapsed window."""
+        if self.elapsed <= 0:
+            return 0.0
+        value = getattr(self.nodes[node], engine)
+        return value / self.elapsed
+
+
+def cluster_utilization(cluster: "Cluster", top_links: int = 8) -> ClusterUtilization:
+    """Snapshot utilization counters from a cluster."""
+    nodes = []
+    for node in cluster.nodes:
+        nodes.append(
+            NodeUtilization(
+                node=node.id,
+                nic_cpu=node.nic.cpu.busy_time,
+                pci=node.nic.pci.busy_time,
+                copy_engine=node.nic.copy_engine.busy_time,
+                host_compute=node.host.compute_time,
+                packets_sent=node.nic.packets_sent,
+                packets_received=node.nic.packets_received,
+            )
+        )
+    links = sorted(
+        (
+            (link.name, link.bytes_carried)
+            for link in cluster.topology.all_links()
+            if link.bytes_carried
+        ),
+        key=lambda kv: kv[1],
+        reverse=True,
+    )
+    return ClusterUtilization(
+        elapsed=cluster.now,
+        nodes=tuple(nodes),
+        link_bytes=tuple(links[:top_links]),
+        wire_bytes_total=sum(b for _n, b in links),
+    )
+
+
+def render_utilization(report: ClusterUtilization) -> str:
+    """Human-readable utilization table."""
+    headers = ["node", "NIC cpu us", "PCI us", "copy us", "host us",
+               "pkts tx", "pkts rx"]
+    rows = [
+        [
+            str(n.node),
+            f"{n.nic_cpu:.1f}",
+            f"{n.pci:.1f}",
+            f"{n.copy_engine:.1f}",
+            f"{n.host_compute:.1f}",
+            str(n.packets_sent),
+            str(n.packets_received),
+        ]
+        for n in report.nodes
+    ]
+    out = [
+        f"elapsed: {report.elapsed:.1f} us, wire bytes: "
+        f"{report.wire_bytes_total}",
+        render_table(headers, rows),
+    ]
+    if report.link_bytes:
+        out.append("busiest links:")
+        for name, nbytes in report.link_bytes:
+            out.append(f"  {name}: {nbytes} B")
+    return "\n".join(out)

@@ -1,0 +1,26 @@
+"""NIC-based collective operations — the paper's stated future work.
+
+"In view of the benefits of NIC-based multicast, we intend to expand the
+NIC-based support to other collective operations, for example, Allreduce
+and All-to-all broadcast" (paper §7).  This package implements that
+program on the same simulated stack:
+
+* :mod:`repro.coll.engine` — a NIC-resident tree-aggregation engine:
+  contributions flow *up* the multicast group tree, combined on each
+  LANai, and the result flows *down* via the forwarding machinery; a
+  barrier is the degenerate reduction.  (Cf. Buntinas et al., "Fast
+  NIC-Level Barrier over Myrinet/GM", IPDPS 2001, and "NIC-Based
+  Reduction in Myrinet Clusters", SAN-02 — reference [6] and [4] of the
+  paper.)
+* :mod:`repro.coll.rdma_bcast` — NIC-based broadcast beyond the eager
+  limit, using rendezvous registration so the data lands zero-copy
+  ("we also intend to study the NIC-based multicast using remote DMA
+  operations", §7).
+* host-based comparison collectives live on the MPI layer
+  (:meth:`repro.mpi.comm.RankContext.allreduce`).
+"""
+
+from repro.coll.engine import CollectiveEngine, REDUCE_OPS
+from repro.coll.rdma_bcast import rdma_bcast
+
+__all__ = ["CollectiveEngine", "REDUCE_OPS", "rdma_bcast"]

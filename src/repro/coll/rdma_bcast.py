@@ -1,0 +1,85 @@
+"""NIC-based broadcast beyond the eager limit, with RDMA-style delivery.
+
+The paper restricts its MPI integration to eager-sized messages because
+MPICH-GM switches to a rendezvous remote-DMA protocol above 16 K, and
+leaves "the NIC-based multicast using remote DMA operations" to future
+work (§5, §7).  This module implements that extension:
+
+1. the root multicasts a small RENDEZVOUS control message through the
+   group (carried in the ordinary NIC-based multicast path);
+2. every destination host registers its receive buffer and replies with
+   a 0-byte clear-to-send unicast to the root;
+3. the root multicasts the bulk data through the same group; because
+   every destination preregistered, delivery is zero-copy (no eager
+   memcpy at the receivers).
+
+Steps (1) and (3) both enjoy NIC forwarding and per-packet pipelining;
+step (2) is the rendezvous round trip the protocol pays for zero-copy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import RankContext
+
+__all__ = ["rdma_bcast"]
+
+
+def rdma_bcast(
+    ctx: "RankContext", root: int, size: int, payload: Any, group_id: int
+) -> Generator[Any, Any, Any]:
+    """Large-message NIC-based broadcast for the MPI layer.
+
+    Requires the (root-rooted) broadcast group to exist already; the
+    caller (``repro.mpi.bcast``) handles demand-driven creation.
+    """
+    from repro.mpi.bcast import _group_recv
+
+    if ctx.rank == root:
+        # (1) rendezvous announcement through the group.
+        handle = yield from ctx.node.mcast.multicast_send(
+            ctx.port, group_id, 0, info={"rdma_bcast": "rts", "size": size}
+        )
+        del handle
+        # (2) every destination registers and replies CTS.
+        cts_needed = ctx.comm.size - 1
+        while cts_needed:
+            completion = yield from ctx._pump()
+            info = completion.info.get("mpi", {})
+            if info.get("kind") == "rdma_bcast_cts":
+                cts_needed -= 1
+            else:
+                ctx._stash(completion)
+        region = ctx.node.memory.register(size)
+        region.pin()
+        yield ctx.sim.timeout(ctx.cost.host_register_cost)
+        # (3) the bulk data rides the NIC-based multicast.
+        handle = yield from ctx.node.mcast.multicast_send(
+            ctx.port, group_id, size,
+            info={"rdma_bcast": "data", "mpi_payload": payload},
+        )
+        yield handle.done  # buffer reusable once every subtree acked
+        region.unpin()
+        ctx.node.memory.deregister(region)
+        return payload
+
+    # Destinations: take the announcement, register, CTS, take the data.
+    rts = yield from _group_recv(ctx, group_id)
+    assert rts.info.get("rdma_bcast") == "rts", rts.info
+    region = ctx.node.memory.register(rts.info["size"])
+    region.pin()
+    yield ctx.sim.timeout(ctx.cost.host_register_cost)
+    root_node = ctx.comm.node_of_rank[root]
+    handle = yield from ctx.port.send(
+        root_node, 0, info={"mpi": {"kind": "rdma_bcast_cts",
+                                    "src_rank": ctx.rank}}
+    )
+    del handle
+    data = yield from _group_recv(ctx, group_id)
+    # Zero-copy: the NIC DMAed straight into the registered user buffer;
+    # no eager memcpy here — that is the point of the rendezvous.
+    region.unpin()
+    ctx.node.memory.deregister(region)
+    return data.info.get("mpi_payload")

@@ -1,0 +1,66 @@
+"""Cluster configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.gm.params import GMCostModel
+
+__all__ = ["ClusterConfig", "TOPOLOGIES"]
+
+TOPOLOGIES = ("single", "clos", "line")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build a :class:`~repro.cluster.Cluster`.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes (each a host + NIC).
+    cost:
+        Timing constants; defaults to the paper's testbed preset.
+    topology:
+        ``"single"`` (one crossbar), ``"clos"`` (two-level Clos above 16
+        nodes, single switch at or below — Myrinet's default), or
+        ``"line"`` (chained switches, for stress tests).
+    seed:
+        Master RNG seed (skew draws, loss draws, ...).
+    trace:
+        Record structured trace events (needed by the Fig. 2 experiment).
+    prepost_recv_tokens:
+        Receive buffers preposted on every port at construction, before
+        simulated time starts (the paper's tests assume receivers are
+        ready; replenishment during a run pays normal host costs).
+    clos_radix:
+        Crossbar radix for the Clos builder.
+    extras:
+        Free-form knobs for experiments (documented where used).
+    """
+
+    n_nodes: int = 16
+    cost: GMCostModel = field(default_factory=GMCostModel.lanai9)
+    topology: str = "clos"
+    seed: int = 0
+    trace: bool = False
+    prepost_recv_tokens: int = 64
+    clos_radix: int = 16
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; pick one of {TOPOLOGIES}"
+            )
+        if self.prepost_recv_tokens < 0:
+            raise ConfigError("prepost_recv_tokens must be >= 0")
+        if self.prepost_recv_tokens > self.cost.recv_tokens_per_port:
+            raise ConfigError(
+                "cannot prepost more receive tokens than the port owns "
+                f"({self.prepost_recv_tokens} > {self.cost.recv_tokens_per_port})"
+            )

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro stack."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ProtectionError",
+    "TokenExhausted",
+    "RegistrationError",
+    "GroupError",
+    "TreeError",
+    "RoutingError",
+    "DeadlockDetected",
+    "CreditError",
+    "MPIError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Invalid cluster or cost-model configuration."""
+
+
+class ProtectionError(ReproError):
+    """A process touched a GM port it does not own (paper §2: protection)."""
+
+
+class TokenExhausted(ReproError):
+    """A send was attempted with no free send tokens on the port."""
+
+
+class RegistrationError(ReproError):
+    """DMA attempted on unregistered host memory, or bad (de)registration."""
+
+
+class GroupError(ReproError):
+    """Invalid multicast-group operation (unknown group, bad membership)."""
+
+
+class TreeError(ReproError):
+    """Invalid spanning-tree structure or deadlock-ordering violation."""
+
+
+class RoutingError(ReproError):
+    """No route between two NICs in the configured topology."""
+
+
+class DeadlockDetected(ReproError):
+    """The simulator stalled with blocked processes holding resources.
+
+    Raised by analysis helpers (e.g. the LFC credit-deadlock demonstration),
+    never spuriously during normal operation of the proposed scheme.
+    """
+
+
+class CreditError(ReproError):
+    """Credit accounting violation in the FM/MC or LFC baseline schemes."""
+
+
+class MPIError(ReproError):
+    """Invalid MPI-level usage (bad rank, communicator mismatch, ...)."""

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` entry point."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

@@ -1,0 +1,74 @@
+"""Command line driver: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments --figure fig3
+    python -m repro.experiments --all --quick
+    python -m repro.experiments --all -o EXPERIMENTS-results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import FIGURES
+
+__all__ = ["main"]
+
+
+def run_figure(figure_id: str, quick: bool):
+    module = importlib.import_module(FIGURES[figure_id])
+    return module.run(quick=quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figures from 'High Performance and "
+        "Reliable NIC-Based Multicast over Myrinet/GM-2' (ICPP 2003).",
+    )
+    parser.add_argument(
+        "--figure", choices=sorted(FIGURES), action="append",
+        help="figure(s) to run (repeatable)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweeps/iterations (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="also append rendered results to this markdown file",
+    )
+    args = parser.parse_args(argv)
+    targets = sorted(FIGURES) if args.all else (args.figure or [])
+    if not targets:
+        parser.error("pick --all or at least one --figure")
+    chunks: list[str] = []
+    for figure_id in targets:
+        started = time.time()
+        print(f"=== {figure_id} ===", flush=True)
+        result = run_figure(figure_id, quick=args.quick)
+        text = result.render()
+        if "table" in result.extra:
+            text += "\n\n" + result.extra["table"]
+        if "forwarding_timeline" in result.extra:
+            text += "\n\nforwarding timeline: " + ", ".join(
+                f"{k}={v:.1f}us"
+                for k, v in result.extra["forwarding_timeline"].items()
+            )
+        print(text)
+        print(f"({time.time() - started:.1f}s wall)\n", flush=True)
+        chunks.append(text)
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+        print(f"appended results to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Figure 7: skew-tolerance improvement vs system size.
+
+"For both sizes of messages, the improvement factor becomes greater as
+the system size increases for a fixed amount of process skew of 400 µs.
+This suggests that a larger size system can benefit more from the
+NIC-based multicast for the reduced effects of process skew."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import skew_sweep_point
+from repro.experiments.report import FigureResult, Series
+from repro.gm.params import GMCostModel
+
+__all__ = ["run", "SIZES", "NODE_COUNTS"]
+
+SIZES = (4, 4096)  #: paper: 4-byte and 4 KB messages
+NODE_COUNTS = (4, 8, 12, 16)
+#: uniform ±1600 µs draw -> mean applied skew ≈ 400 µs
+MAX_SKEW = 3200.0
+
+
+def run(
+    quick: bool = False,
+    cost: GMCostModel | None = None,
+    node_counts: tuple[int, ...] = NODE_COUNTS,
+) -> FigureResult:
+    cost = cost or GMCostModel()
+    iterations = 10 if quick else 30
+    counts = (4, 16) if quick else node_counts
+    result = FigureResult(
+        figure_id="fig7",
+        title="Skew-tolerance improvement factor vs system size "
+        "(~400 µs mean skew)",
+    )
+    for size in SIZES:
+        series = Series(label=f"factor-{size}B")
+        for n in counts:
+            hb = skew_sweep_point(n, False, MAX_SKEW, size, iterations, cost)
+            nb = skew_sweep_point(n, True, MAX_SKEW, size, iterations, cost)
+            series.add(n, hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time)
+        result.series.append(series)
+    for series in result.series:
+        first, last = series.ys()[0], series.ys()[-1]
+        result.headlines[
+            f"{series.label}: factor growth {counts[0]}->{counts[-1]} nodes "
+            "(paper: increases)"
+        ] = last - first
+    return result

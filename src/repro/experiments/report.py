@@ -1,0 +1,92 @@
+"""Result containers and table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Series", "FigureResult", "render_table"]
+
+
+@dataclass
+class Series:
+    """One curve: a label and (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> list[float]:
+        return [p[0] for p in self.points]
+
+    def ys(self) -> list[float]:
+        return [p[1] for p in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+
+@dataclass
+class FigureResult:
+    """Everything one figure reproduction produced."""
+
+    figure_id: str
+    title: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: headline numbers to compare against the paper, name -> value
+    headlines: dict[str, float] = field(default_factory=dict)
+    #: free-form extra payload (tables, traces)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.figure_id}")
+
+    def table(self, x_name: str = "x", fmt: str = "{:.2f}") -> str:
+        """Render all series against their shared x values."""
+        xs = sorted({x for s in self.series for x in s.xs()})
+        headers = [x_name] + [s.label for s in self.series]
+        rows = []
+        for x in xs:
+            row = [str(int(x)) if float(x).is_integer() else f"{x:g}"]
+            for s in self.series:
+                try:
+                    row.append(fmt.format(s.y_at(x)))
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        return render_table(headers, rows)
+
+    def render(self) -> str:
+        out = [f"## {self.figure_id}: {self.title}", "", self.table()]
+        if self.headlines:
+            out.append("")
+            out.append("Headlines:")
+            for name, value in self.headlines.items():
+                out.append(f"  {name}: {value:.2f}")
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

@@ -1,0 +1,309 @@
+"""Measurement harness: the paper's timing methodology in simulation.
+
+The paper times 10,000 iterations after 20 warmup iterations on real
+hardware; the simulator is deterministic, so far fewer iterations give
+stable means (loss-free runs are exactly periodic).  Methodology notes:
+
+* **Multisend (Fig. 3)** — "the source node transmits a message to
+  multiple destinations and waits for an acknowledgment from the last
+  destination": one iteration = post → all GM acks back at the root.
+* **Multicast (Figs. 4/5)** — "wait for an acknowledgment from one of
+  the leaf nodes ... repeated with different leaf nodes ... maximum
+  taken": we record every destination's delivery time each iteration
+  and add the measured 0-byte unicast (the leaf's ack trip), then take
+  the maximum over destinations — the same quantity in one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Any, Callable, Generator
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+from repro.mcast.manager import install_group, next_group_id
+from repro.mcast.nic_assisted import NicAssistedEngine, nic_assisted_multisend
+from repro.mpi.comm import Communicator
+from repro.trees import SpanningTree, build_tree
+
+__all__ = [
+    "MulticastMeasurement",
+    "measure_unicast",
+    "measure_multisend",
+    "measure_gm_multicast",
+    "measure_mpi_bcast",
+    "PAPER_SIZES",
+    "MPI_SIZES",
+]
+
+#: Message sizes swept in the paper's GM-level figures.
+PAPER_SIZES = [1, 4, 16, 64, 256, 512, 1024, 2048, 4096, 8192, 16384]
+#: MPI-level sweep ends at the largest eager message.
+MPI_SIZES = [1, 4, 16, 64, 256, 512, 1024, 2048, 4096, 8192, 16287]
+
+DEFAULT_ITERATIONS = 30
+DEFAULT_WARMUP = 5
+
+
+def _cluster(n: int, cost: GMCostModel | None, seed: int) -> Cluster:
+    return Cluster(
+        ClusterConfig(n_nodes=n, cost=cost or GMCostModel(), seed=seed)
+    )
+
+
+def measure_unicast(
+    cost: GMCostModel | None = None,
+    size: int = 0,
+    iterations: int = 10,
+    seed: int = 0,
+) -> float:
+    """Mean one-way GM latency (send post → receive event at the host)."""
+    cluster = _cluster(2, cost, seed)
+    deliveries: list[float] = []
+    starts: list[float] = []
+
+    def receiver() -> Generator:
+        port = cluster.port(1)
+        for _ in range(iterations):
+            yield from port.receive()
+            deliveries.append(cluster.now)
+            yield from port.provide_receive_buffer()
+
+    def sender() -> Generator:
+        port = cluster.port(0)
+        for _ in range(iterations):
+            starts.append(cluster.now)
+            handle = yield from port.send(1, size)
+            yield handle.done
+
+    s = cluster.spawn(sender())
+    r = cluster.spawn(receiver())
+    cluster.run(until=cluster.sim.all_of([s, r]))
+    return mean(d - t0 for d, t0 in zip(deliveries, starts))
+
+
+def measure_multisend(
+    n_dest: int,
+    size: int,
+    scheme: str,
+    iterations: int = DEFAULT_ITERATIONS,
+    warmup: int = DEFAULT_WARMUP,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+) -> float:
+    """Fig. 3 metric: mean time from post to the last destination's ack.
+
+    ``scheme``: ``"nb"`` (NIC-based multisend into a flat group) or
+    ``"hb"`` (host posts one unicast per destination).
+    """
+    n = n_dest + 1
+    cluster = _cluster(n, cost, seed)
+    tree = build_tree(0, range(1, n), shape="flat")
+    durations: list[float] = []
+    total = warmup + iterations
+
+    if scheme == "nb":
+        gid = next_group_id()
+        install_group(cluster, gid, tree)
+
+        def root() -> Generator:
+            for it in range(total):
+                start = cluster.now
+                handle = yield from cluster.node(0).mcast.multicast_send(
+                    cluster.port(0), gid, size
+                )
+                yield handle.done
+                if it >= warmup:
+                    durations.append(cluster.now - start)
+    elif scheme == "hb":
+
+        def root() -> Generator:
+            port = cluster.port(0)
+            for it in range(total):
+                start = cluster.now
+                handles = []
+                for dest in range(1, n):
+                    handle = yield from port.send(dest, size)
+                    handles.append(handle.done)
+                yield cluster.sim.all_of(handles)
+                if it >= warmup:
+                    durations.append(cluster.now - start)
+    else:
+        raise ValueError(f"unknown multisend scheme {scheme!r}")
+
+    def receiver(i: int) -> Generator:
+        port = cluster.port(i)
+        for _ in range(total):
+            yield from port.receive()
+            yield from port.provide_receive_buffer()
+
+    procs = [cluster.spawn(root())]
+    procs += [cluster.spawn(receiver(i)) for i in range(1, n)]
+    cluster.run(until=cluster.sim.all_of(procs))
+    return mean(durations)
+
+
+@dataclass
+class MulticastMeasurement:
+    """Per-size multicast timing."""
+
+    latency: float  #: the paper's metric (max leaf delivery + leaf ack)
+    per_dest_delivery: dict[int, float]  #: mean delivery per destination
+    ack_trip: float  #: measured 0-byte unicast added as the leaf ack
+
+
+def measure_gm_multicast(
+    n_nodes: int,
+    size: int,
+    scheme: str,
+    iterations: int = DEFAULT_ITERATIONS,
+    warmup: int = DEFAULT_WARMUP,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+    tree_shape: str | None = None,
+) -> MulticastMeasurement:
+    """Figs. 5 metric for one (system size, message size, scheme) point.
+
+    ``scheme``: ``"nb"`` (optimal tree + NIC forwarding), ``"hb"``
+    (binomial tree + host forwarding), or ``"nic_assisted"`` (binomial
+    tree, multidestination sends, host forwarding).
+    """
+    cost = cost or GMCostModel()
+    cluster = _cluster(n_nodes, cost, seed)
+    dests = list(range(1, n_nodes))
+    total = warmup + iterations
+    sums: dict[int, float] = {d: 0.0 for d in dests}
+    iteration_start = [0.0]
+    round_done: list[Any] = [None]
+
+    def begin_round() -> None:
+        remaining = set(dests)
+        ev = cluster.sim.event()
+        round_done[0] = (remaining, ev)
+        iteration_start[0] = cluster.now
+
+    def mark_delivered(dest: int, it: int) -> None:
+        if it >= warmup:
+            sums[dest] += cluster.now - iteration_start[0]
+        remaining, ev = round_done[0]
+        remaining.discard(dest)
+        if not remaining:
+            ev.succeed(None)
+
+    if scheme == "nb":
+        tree = build_tree(
+            0, dests, shape=tree_shape or "optimal", cost=cost, size=size
+        )
+        gid = next_group_id()
+        install_group(cluster, gid, tree)
+
+        def root() -> Generator:
+            for _ in range(total):
+                begin_round()
+                handle = yield from cluster.node(0).mcast.multicast_send(
+                    cluster.port(0), gid, size
+                )
+                del handle
+                yield round_done[0][1]
+
+        def member(i: int) -> Generator:
+            port = cluster.port(i)
+            for it in range(total):
+                yield from port.receive()
+                mark_delivered(i, it)
+                yield from port.provide_receive_buffer()
+
+    elif scheme in ("hb", "nic_assisted"):
+        tree = build_tree(0, dests, shape=tree_shape or "binomial")
+        if scheme == "nic_assisted":
+            for node in cluster.nodes:
+                node.nic_assisted = NicAssistedEngine(node)
+        children_map = {n: tree.children_of(n) for n in tree.nodes}
+
+        def _relay(node_id: int) -> Generator:
+            kids = children_map[node_id]
+            if not kids:
+                return
+            node = cluster.node(node_id)
+            port = cluster.port(node_id)
+            if scheme == "nic_assisted":
+                handle = yield from nic_assisted_multisend(
+                    node, port, kids, size
+                )
+                yield handle.done
+            else:
+                handles = []
+                for child in kids:
+                    handle = yield from port.send(child, size)
+                    handles.append(handle.done)
+                yield cluster.sim.all_of(handles)
+
+        def root() -> Generator:
+            for _ in range(total):
+                begin_round()
+                yield from _relay(0)
+                yield round_done[0][1]
+
+        def member(i: int) -> Generator:
+            port = cluster.port(i)
+            for it in range(total):
+                yield from port.receive()
+                mark_delivered(i, it)
+                yield from port.provide_receive_buffer()
+                yield from _relay(i)
+
+    else:
+        raise ValueError(f"unknown multicast scheme {scheme!r}")
+
+    procs = [cluster.spawn(root())]
+    procs += [cluster.spawn(member(i)) for i in dests]
+    cluster.run(until=cluster.sim.all_of(procs))
+
+    per_dest = {d: sums[d] / iterations for d in dests}
+    ack_trip = measure_unicast(cost, size=0)
+    return MulticastMeasurement(
+        latency=max(per_dest.values()) + ack_trip,
+        per_dest_delivery=per_dest,
+        ack_trip=ack_trip,
+    )
+
+
+def measure_mpi_bcast(
+    n_ranks: int,
+    size: int,
+    nic: bool,
+    iterations: int = DEFAULT_ITERATIONS,
+    warmup: int = DEFAULT_WARMUP,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+) -> float:
+    """Fig. 4 metric: mean broadcast latency at the MPI level.
+
+    One iteration = root's bcast entry to the last rank's bcast exit,
+    plus the measured 0-byte unicast for the leaf's acknowledgment (as
+    in the GM-level methodology).  Ranks are pre-synchronized with a
+    barrier per iteration, mirroring the paper's loop.
+    """
+    cost = cost or GMCostModel()
+    cluster = _cluster(n_ranks, cost, seed)
+    comm = Communicator(cluster, nic_bcast=nic)
+    root_enter: dict[int, float] = {}
+    last_exit: dict[int, float] = {}
+    total = warmup + iterations
+
+    def program(ctx) -> Generator:
+        for it in range(total):
+            yield from ctx.barrier()
+            if ctx.rank == 0:
+                root_enter[it] = ctx.sim.now
+            yield from ctx.bcast(root=0, size=size)
+            last_exit[it] = max(last_exit.get(it, 0.0), ctx.sim.now)
+
+    comm.run(program)
+    durations = [
+        last_exit[it] - root_enter[it] for it in range(warmup, total)
+    ]
+    ack_trip = measure_unicast(cost, size=0)
+    return mean(durations) + ack_trip

@@ -1,0 +1,26 @@
+"""GM 2.0 user-level protocol over the simulated NIC.
+
+Implements the GM machinery the paper builds on: ports with OS-bypass
+protection, send/receive tokens, per-connection Go-back-N reliability with
+send records and timeout retransmission, registered-memory accounting, and
+host event queues — plus the GM-2 additions (myrinet packet descriptors
+with callback handlers) that enable the NIC-based multicast.
+"""
+
+from repro.gm.api import GMPort, RecvCompletion, SendHandle
+from repro.gm.memory import RegisteredMemory, RegisteredRegion
+from repro.gm.params import GMCostModel
+from repro.gm.protocol import GMEngine
+from repro.gm.tokens import ReceiveToken, SendToken
+
+__all__ = [
+    "GMCostModel",
+    "GMEngine",
+    "GMPort",
+    "ReceiveToken",
+    "RecvCompletion",
+    "RegisteredMemory",
+    "RegisteredRegion",
+    "SendHandle",
+    "SendToken",
+]

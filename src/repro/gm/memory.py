@@ -1,0 +1,93 @@
+"""Registered (DMA-able) host memory accounting.
+
+"GM can only send and receive data from registered memory" (paper §5).
+Regions must be registered before the NIC may DMA them, and the paper's
+forwarding scheme *pins* the host replica of a forwarded message until
+every child has acknowledged — retransmission re-fetches the data from
+host memory rather than holding scarce NIC receive buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.errors import RegistrationError
+
+__all__ = ["RegisteredRegion", "RegisteredMemory"]
+
+_region_ids = count()
+
+
+@dataclass
+class RegisteredRegion:
+    """One registered host-memory region."""
+
+    size: int
+    owner: int  # host/node id
+    region_id: int = field(default_factory=lambda: next(_region_ids))
+    registered: bool = True
+    #: DMA-in-progress / retransmit-hold references; deregistration is
+    #: refused while nonzero.
+    pin_count: int = 0
+
+    def pin(self) -> None:
+        if not self.registered:
+            raise RegistrationError(
+                f"region {self.region_id} pinned after deregistration"
+            )
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        if self.pin_count <= 0:
+            raise RegistrationError(f"region {self.region_id} unpin underflow")
+        self.pin_count -= 1
+
+
+class RegisteredMemory:
+    """Per-node registry of DMA-able regions."""
+
+    def __init__(self, owner: int, limit_bytes: int | None = None):
+        self.owner = owner
+        self.limit_bytes = limit_bytes
+        self.regions: dict[int, RegisteredRegion] = {}
+        self.registered_bytes = 0
+
+    def register(self, size: int) -> RegisteredRegion:
+        if size < 0:
+            raise RegistrationError(f"negative region size {size}")
+        if (
+            self.limit_bytes is not None
+            and self.registered_bytes + size > self.limit_bytes
+        ):
+            raise RegistrationError(
+                f"registration limit exceeded on node {self.owner}: "
+                f"{self.registered_bytes} + {size} > {self.limit_bytes}"
+            )
+        region = RegisteredRegion(size=size, owner=self.owner)
+        self.regions[region.region_id] = region
+        self.registered_bytes += size
+        return region
+
+    def deregister(self, region: RegisteredRegion) -> None:
+        if region.region_id not in self.regions:
+            raise RegistrationError(
+                f"region {region.region_id} not registered on node {self.owner}"
+            )
+        if region.pin_count > 0:
+            raise RegistrationError(
+                f"region {region.region_id} is pinned "
+                f"({region.pin_count} references) — e.g. held for multicast "
+                "retransmission until all children acknowledge"
+            )
+        region.registered = False
+        del self.regions[region.region_id]
+        self.registered_bytes -= region.size
+
+    def require(self, region: RegisteredRegion) -> None:
+        """Raise unless *region* is usable for DMA on this node."""
+        if region.owner != self.owner or region.region_id not in self.regions:
+            raise RegistrationError(
+                f"DMA on unregistered region {region.region_id} "
+                f"(node {self.owner})"
+            )

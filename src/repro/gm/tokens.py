@@ -1,0 +1,86 @@
+"""Send and receive tokens.
+
+GM's host/NIC contract revolves around tokens: the host owns a fixed set
+of *send tokens* (returned when a send is fully acknowledged) and loans
+the NIC *receive tokens* (preposted host buffers) that arriving messages
+consume.  The paper's forwarding design hinges on this vocabulary: an
+intermediate NIC *transforms a receive token into a send token* rather
+than drawing from the send-token pool, which is what makes forwarding
+deadlock-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gm.memory import RegisteredRegion
+
+__all__ = ["SendToken", "ReceiveToken"]
+
+_token_ids = count()
+_msg_ids = count(1)
+
+
+def next_msg_id() -> int:
+    """Globally unique message identifier (sender-assigned)."""
+    return next(_msg_ids)
+
+
+@dataclass
+class SendToken:
+    """One in-flight send owned by a port.
+
+    ``unacked_packets`` counts packets not yet acknowledged; the engine
+    fires ``on_complete`` (set by the API layer) when it reaches zero
+    after all packets were sent.
+    """
+
+    port_num: int
+    dst: int = -1
+    dst_port: int = 0
+    size: int = 0
+    msg_id: int = 0
+    unacked_packets: int = 0
+    all_packets_sent: bool = False
+    region: "RegisteredRegion | None" = None
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def arm(self, dst: int, dst_port: int, size: int,
+            region: "RegisteredRegion | None" = None) -> None:
+        """Prepare the (recycled) token for a new send."""
+        self.dst = dst
+        self.dst_port = dst_port
+        self.size = size
+        self.msg_id = next_msg_id()
+        self.unacked_packets = 0
+        self.all_packets_sent = False
+        self.region = region
+        self.context = {}
+
+    @property
+    def complete(self) -> bool:
+        return self.all_packets_sent and self.unacked_packets == 0
+
+
+@dataclass
+class ReceiveToken:
+    """One preposted host receive buffer.
+
+    For the paper's forwarding scheme the same object tracks its
+    *transformed* life as a forwarding send token: ``forward_children``
+    counts children not yet fully acknowledged; the token returns to the
+    host only when the message is delivered **and** forwarding completed.
+    """
+
+    port_num: int
+    size: int = 0
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    #: Set while this receive token doubles as a multicast forwarding
+    #: send token (receive-token transformation, paper §5).
+    transformed: bool = False
+    forward_children_unacked: int = 0
+    context: dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,6 @@
+"""Host-side models: the host process/CPU and the node (host + NIC)."""
+
+from repro.host.process import Host
+from repro.host.node import Node
+
+__all__ = ["Host", "Node"]

@@ -1,0 +1,48 @@
+"""NIC-based multicast — the paper's contribution, plus its baselines.
+
+The proposed scheme consists of:
+
+* a **NIC-based multisend** (``multisend``): one host request, one
+  host→NIC DMA, then the NIC emits a replica per destination by rewriting
+  the packet header in a GM-2 descriptor callback;
+* **NIC-based forwarding** (``forward``): an intermediate NIC looks up
+  the multicast group table and re-queues received packets to its
+  children without host involvement, pipelining multi-packet messages;
+* **one-to-many reliability** (``reliability``): per-group sequence
+  numbers, an array of per-child acknowledged sequence numbers, and
+  selective Go-back-N retransmission from registered host memory;
+* **deadlock freedom** without credits, via per-group queues,
+  receive-token transformation, and ID-ordered trees (``repro.trees``).
+
+Baselines: host-based multiple unicasts (``hostbased``), the NIC-assisted
+scheme (``nic_assisted``), LFC (``lfc``) and FM/MC (``fmmc``) credit
+schemes, compared on the paper's feature axes in ``features``.
+"""
+
+from repro.mcast.engine import McastEngine
+from repro.mcast.group import (
+    CreateGroupCommand,
+    GroupState,
+    GroupTable,
+    McastSendCommand,
+)
+from repro.mcast.hostbased import host_based_multicast
+from repro.mcast.manager import (
+    install_group,
+    multicast,
+    nic_based_multicast,
+)
+from repro.mcast.reliability import McastRecord
+
+__all__ = [
+    "CreateGroupCommand",
+    "GroupState",
+    "GroupTable",
+    "McastEngine",
+    "McastRecord",
+    "McastSendCommand",
+    "host_based_multicast",
+    "install_group",
+    "multicast",
+    "nic_based_multicast",
+]

@@ -1,0 +1,180 @@
+"""The multicast engine: glue for multisend + forwarding + reliability.
+
+One :class:`McastEngine` attaches to each node's NIC alongside the GM
+engine, registering handlers for multicast packets and host commands.
+The GM code paths are untouched (the paper: "Our modification to GM was
+done by leaving the code for other types of communications mostly
+unchanged").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.gm.tokens import SendToken
+from repro.mcast.forward import ForwardingMixin
+from repro.mcast.group import (
+    CreateGroupCommand,
+    GroupState,
+    GroupTable,
+    McastSendCommand,
+    _HeldMessage,
+)
+from repro.mcast.multisend import MultisendMixin
+from repro.mcast.reliability import McastRecord, ReliabilityMixin
+from repro.net.packet import Packet, PacketHeader, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.host.node import Node
+
+__all__ = ["McastEngine"]
+
+
+class McastEngine(MultisendMixin, ForwardingMixin, ReliabilityMixin):
+    """NIC-resident multicast protocol for one node."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self.nic = node.nic
+        self.gm = node.gm
+        self.memory = node.memory
+        self.sim = node.sim
+        self.cost = node.cost
+        self.table = GroupTable()
+
+        # statistics
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+        self.out_of_order_dropped = 0
+        self.no_token_dropped = 0
+        self.unknown_group_dropped = 0
+        self.messages_forwarded = 0
+
+        nic = self.nic
+        nic.command_handlers[McastSendCommand] = self._handle_mcast_send
+        nic.command_handlers[CreateGroupCommand] = self._handle_create_group
+        nic.packet_handlers[PacketType.MCAST_DATA] = self._handle_mcast_data
+        nic.packet_handlers[PacketType.MCAST_ACK] = self._handle_mcast_ack
+
+    # -- group management -------------------------------------------------
+    def _handle_create_group(self, cmd: CreateGroupCommand) -> Generator:
+        yield from self.nic.processing(self.cost.nic_group_lookup)
+        assert cmd.state is not None
+        if cmd.replace and cmd.state.group_id in self.table:
+            self.table.remove(cmd.state.group_id)
+        self.table.install(cmd.state)
+
+    def install_group_now(self, state: GroupState) -> None:
+        """Zero-cost install (experiment setup before time starts)."""
+        self.table.install(state)
+
+    # -- host-facing send ----------------------------------------------------
+    def multicast_send(
+        self, port, group_id: int, size: int, caller=None, info=None
+    ) -> Generator:
+        """Root-side host call: post one multisend request.
+
+        Usage from a host program: ``handle = yield from
+        node.mcast.multicast_send(port, gid, nbytes)``.
+        """
+        from repro.errors import TokenExhausted
+        from repro.gm.api import SendHandle
+
+        port._check_owner(caller)
+        if not port._free_send_tokens:
+            raise TokenExhausted(
+                f"port {self.nic.id}:{port.port_num} has no free send tokens"
+            )
+        token: SendToken = port._free_send_tokens.pop()
+        token.arm(dst=-1, dst_port=port.port_num, size=size)
+        if info is not None:
+            token.context["info"] = info
+        handle = SendHandle(
+            token=token, done=self.sim.event(), posted_at=self.sim.now
+        )
+        port._completions[token.token_id] = handle
+        port.sends_posted += 1
+        yield self.sim.timeout(self.cost.host_send_post)
+        self.nic.post_command(
+            McastSendCommand(port=port.port_num, token=token, group_id=group_id)
+        )
+        return handle
+
+    # -- packet construction -----------------------------------------------------
+    def _build_mcast_packet(
+        self, group: GroupState, record: McastRecord, child: int
+    ) -> Packet:
+        pkt = Packet(
+            header=PacketHeader(
+                ptype=PacketType.MCAST_DATA,
+                src=self.nic.id,
+                dst=child,
+                origin=group.root,
+                group=group.group_id,
+                port=group.port_num,
+                from_port=group.port_num,
+                seq=record.seq,
+                msg_id=record.msg_id,
+                chunk=record.chunk,
+                nchunks=record.nchunks,
+                payload=record.payload,
+                msg_size=record.msg_size,
+            )
+        )
+        if record.chunk == 0 and record.app_info:
+            pkt.header.info["app"] = record.app_info
+        return pkt
+
+    # -- completion plumbing ---------------------------------------------------------
+    def _record_completed(self, group: GroupState, record: McastRecord) -> None:
+        """All children acknowledged one packet."""
+        if record.token is not None:
+            # Root: account against the multisend token.
+            token = record.token
+            token.unacked_packets -= 1
+            if token.complete:
+                self._root_token_complete(group, token)
+            return
+        # Intermediate: account against the held message.
+        held = group.held.get(record.msg_id)
+        if held is None:
+            return
+        held.pending_records -= 1
+        self._maybe_release_held(group, held)
+
+    def _root_token_complete(self, group: GroupState, token: SendToken) -> None:
+        port = self.gm.ports.get(token.port_num)
+        self.sim.record(
+            self.nic.name, "mcast_send_complete", group=group.group_id,
+            msg=token.msg_id,
+        )
+        if port is not None:
+            port.complete_send(token)
+
+    def _maybe_release_held(self, group: GroupState, held: _HeldMessage) -> None:
+        """Release host pin + receive token once delivery AND forwarding
+        obligations are both fully discharged."""
+        done_forwarding = (
+            held.all_records_created and held.pending_records == 0
+        ) or not group.children
+        if not (done_forwarding and held.delivered_to_host):
+            return
+        group.held.pop(held.msg_id, None)
+        self.messages_forwarded += bool(group.children)
+        if held.region is not None:
+            held.region.unpin()
+            self.memory.deregister(held.region)
+        if held.token is not None:
+            held.token.transformed = False
+            port = self.gm.ports.get(group.port_num)
+            if port is not None:
+                port.return_recv_token(held.token)
+
+    # -- introspection -------------------------------------------------------------------
+    def pending_retransmit_state(self) -> dict[int, int]:
+        """group_id -> number of unacked records (for tests/monitoring)."""
+        return {
+            gid: len(state.records)
+            for gid, state in self.table._groups.items()
+            if state.records
+        }

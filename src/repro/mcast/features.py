@@ -1,0 +1,150 @@
+"""The Fig. 1 feature comparison, as data.
+
+"Figure 1 shows a diagram, which uses six axes to represent these
+features, and compares the features of available multicast schemes, as
+well as the scheme we are proposing" (paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "Forwarding",
+    "TreeConstruction",
+    "TreeInformation",
+    "FlowControl",
+    "SchemeFeatures",
+    "SCHEMES",
+    "feature_table",
+]
+
+
+class Forwarding(Enum):
+    NIC = "NIC"
+    HOST = "Host"
+
+
+class TreeConstruction(Enum):
+    HOST = "Host"
+    NIC = "NIC"
+
+
+class TreeInformation(Enum):
+    PREPOSTED = "pre-posted"
+    PER_MESSAGE = "per message"
+
+
+class FlowControl(Enum):
+    NONE_ACK_BASED = "ack/timeout (no credits)"
+    END_TO_END_CREDITS = "end-to-end credits (central manager)"
+    POINT_TO_POINT_CREDITS = "point-to-point credits (per hop)"
+
+
+@dataclass(frozen=True)
+class SchemeFeatures:
+    """One scheme's position on the paper's six axes."""
+
+    name: str
+    reliable: bool
+    forwarding: Forwarding
+    tree_construction: TreeConstruction
+    tree_information: TreeInformation
+    protection: bool
+    flow_control: FlowControl
+    scalability: str  # "higher" / "lower" with the limiting factor
+    deadlock_free: bool
+    module: str  # where this repo implements/demonstrates it
+
+
+SCHEMES: dict[str, SchemeFeatures] = {
+    "ours": SchemeFeatures(
+        name="NIC-based multicast (this paper)",
+        reliable=True,
+        forwarding=Forwarding.NIC,
+        tree_construction=TreeConstruction.HOST,
+        tree_information=TreeInformation.PREPOSTED,
+        protection=True,
+        flow_control=FlowControl.NONE_ACK_BASED,
+        scalability="higher (no central component; per-group NIC state)",
+        deadlock_free=True,
+        module="repro.mcast.engine",
+    ),
+    "lfc": SchemeFeatures(
+        name="LFC (Bhoedjang et al.)",
+        reliable=False,  # assumes a reliable network
+        forwarding=Forwarding.NIC,
+        tree_construction=TreeConstruction.HOST,
+        tree_information=TreeInformation.PREPOSTED,
+        protection=False,
+        flow_control=FlowControl.POINT_TO_POINT_CREDITS,
+        scalability="higher (distributed credits) but deadlock-prone",
+        deadlock_free=False,
+        module="repro.mcast.lfc",
+    ),
+    "fmmc": SchemeFeatures(
+        name="FM/MC (Verstoep et al.)",
+        reliable=False,  # credit scheme assumes reliable fabric
+        forwarding=Forwarding.NIC,
+        tree_construction=TreeConstruction.HOST,
+        tree_information=TreeInformation.PREPOSTED,
+        protection=False,
+        flow_control=FlowControl.END_TO_END_CREDITS,
+        scalability="lower (centralized credit manager)",
+        deadlock_free=True,
+        module="repro.mcast.fmmc",
+    ),
+    "nic_assisted": SchemeFeatures(
+        name="NIC-assisted (Buntinas et al.)",
+        reliable=True,
+        forwarding=Forwarding.HOST,
+        tree_construction=TreeConstruction.HOST,
+        tree_information=TreeInformation.PER_MESSAGE,
+        protection=True,
+        flow_control=FlowControl.NONE_ACK_BASED,
+        scalability="lower (host involvement at every hop)",
+        deadlock_free=True,
+        module="repro.mcast.nic_assisted",
+    ),
+}
+
+
+def feature_table() -> str:
+    """Render the Fig. 1 comparison as a markdown table."""
+    headers = [
+        "Scheme",
+        "Reliable",
+        "Forwarding",
+        "Tree built at",
+        "Tree info",
+        "Protection",
+        "Flow control",
+        "Deadlock-free",
+        "Scalability",
+    ]
+    rows = []
+    for scheme in SCHEMES.values():
+        rows.append(
+            [
+                scheme.name,
+                "yes" if scheme.reliable else "no",
+                scheme.forwarding.value,
+                scheme.tree_construction.value,
+                scheme.tree_information.value,
+                "yes" if scheme.protection else "no",
+                scheme.flow_control.value,
+                "yes" if scheme.deadlock_free else "no",
+                scheme.scalability,
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    lines = [fmt(headers), "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

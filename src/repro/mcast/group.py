@@ -1,0 +1,169 @@
+"""Multicast group state, as stored in each NIC's group table.
+
+"Multicast send tokens are queued by group.  Each multicast group has a
+unique group identifier.  For each group, the NIC keeps track of: (1) a
+receive sequence number ... from its parent, (2) a send sequence number
+... sent out, and (3) an array of sequence numbers to record the
+acknowledged sequence number from each child" (paper §5).
+
+Each NIC stores only its *local view* of the spanning tree — its parent
+and children — preposted by the host (tree construction happens at the
+host; the NIC only does protocol processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import GroupError
+from repro.gm.tokens import SendToken
+from repro.nic.lanai import HostCommand
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gm.memory import RegisteredRegion
+    from repro.gm.tokens import ReceiveToken
+    from repro.mcast.reliability import McastRecord
+    from repro.trees.base import SpanningTree
+
+__all__ = [
+    "GroupState",
+    "GroupTable",
+    "CreateGroupCommand",
+    "McastSendCommand",
+    "local_views",
+]
+
+
+@dataclass
+class _HeldMessage:
+    """An in-progress / retransmittable multicast message at one NIC.
+
+    At an intermediate node the host replica stays registered (pinned)
+    until every child acknowledged every packet — retransmission re-DMAs
+    from host memory instead of hogging NIC receive buffers (paper §5).
+    """
+
+    msg_id: int
+    nchunks: int
+    msg_size: int
+    src: int
+    #: chunks fully received (RDMAed to the host)
+    chunks_delivered: int = 0
+    #: send records for this message not yet acked by every child
+    pending_records: int = 0
+    #: whether every chunk has been forwarded/recorded
+    all_records_created: bool = False
+    delivered_to_host: bool = False
+    token: "ReceiveToken | None" = None
+    region: "RegisteredRegion | None" = None
+    app_info: dict = field(default_factory=dict)
+
+
+@dataclass
+class GroupState:
+    """One NIC's view of one multicast group."""
+
+    group_id: int
+    root: int
+    parent: int | None
+    children: tuple[int, ...]
+    port_num: int = 0
+
+    # (2) send sequence number (root allocates; intermediates reuse the
+    # root's numbers — "the same sequence number and send record").
+    next_send_seq: int = 1
+    # (1) receive sequence number from the parent.
+    recv_seq: int = 0
+    # (3) per-child acknowledged sequence numbers.
+    child_acked: dict[int, int] = field(default_factory=dict)
+    #: unacked send records by seq
+    records: dict[int, "McastRecord"] = field(default_factory=dict)
+    #: in-progress / held messages by msg_id
+    held: dict[int, _HeldMessage] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.parent is None and self.root is not None:
+            # Only the true root has no parent.
+            pass
+        for child in self.children:
+            self.child_acked.setdefault(child, 0)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def alloc_seq(self) -> int:
+        seq = self.next_send_seq
+        self.next_send_seq += 1
+        return seq
+
+    def min_child_acked(self) -> int:
+        if not self.children:
+            return self.next_send_seq - 1
+        return min(self.child_acked.values())
+
+
+class GroupTable:
+    """The group table stored in NIC memory."""
+
+    def __init__(self) -> None:
+        self._groups: dict[int, GroupState] = {}
+
+    def install(self, state: GroupState) -> None:
+        if state.group_id in self._groups:
+            raise GroupError(f"group {state.group_id} already installed")
+        self._groups[state.group_id] = state
+
+    def get(self, group_id: int) -> GroupState | None:
+        return self._groups.get(group_id)
+
+    def require(self, group_id: int) -> GroupState:
+        state = self._groups.get(group_id)
+        if state is None:
+            raise GroupError(f"unknown multicast group {group_id}")
+        return state
+
+    def remove(self, group_id: int) -> None:
+        if group_id not in self._groups:
+            raise GroupError(f"unknown multicast group {group_id}")
+        del self._groups[group_id]
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+def local_views(
+    group_id: int, tree: "SpanningTree", port_num: int = 0
+) -> dict[int, GroupState]:
+    """Split a spanning tree into per-node group-table entries."""
+    views: dict[int, GroupState] = {}
+    for node in tree.nodes:
+        parent = tree.parent_of(node)
+        views[node] = GroupState(
+            group_id=group_id,
+            root=tree.root,
+            parent=parent,
+            children=tree.children_of(node),
+            port_num=port_num,
+        )
+    return views
+
+
+@dataclass
+class CreateGroupCommand(HostCommand):
+    """Host → NIC: prepost this node's view of a multicast tree."""
+
+    state: GroupState | None = None
+    replace: bool = False
+
+
+@dataclass
+class McastSendCommand(HostCommand):
+    """Host → NIC: root-side multisend into a group."""
+
+    token: SendToken | None = None
+    group_id: int = -1

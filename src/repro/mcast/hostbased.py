@@ -1,0 +1,83 @@
+"""The host-based multicast baseline.
+
+"With a host-based mechanism, the intermediate host initiates another set
+of unicasts after receiving the message.  A message just received by the
+NIC must be copied into the host memory and then back to the NIC for
+forwarding.  This leads to a large overhead" (paper §3).
+
+The baseline is exactly what MPICH-GM's broadcast does: unicasts along a
+binomial tree, every hop passing through the intermediate *host*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster import Cluster
+    from repro.trees.base import SpanningTree
+
+__all__ = ["host_based_multicast", "host_forwarding_program", "host_root_program"]
+
+
+def host_root_program(
+    cluster: "Cluster", tree: "SpanningTree", size: int, info: Any = None
+) -> Generator:
+    """Root host: post one unicast per child (the NIC pipelines them)."""
+    port = cluster.port(tree.root)
+    handles = []
+    for child in tree.children_of(tree.root):
+        handle = yield from port.send(child, size, info=info)
+        handles.append(handle.done)
+    yield cluster.sim.all_of(handles)
+
+
+def host_forwarding_program(
+    cluster: "Cluster",
+    tree: "SpanningTree",
+    node_id: int,
+    size: int,
+    delivered: dict[int, float],
+    completions: dict[int, Any] | None = None,
+) -> Generator:
+    """Non-root host: blocking receive, then unicast to own children."""
+    port = cluster.port(node_id)
+    completion = yield from port.receive()
+    delivered[node_id] = cluster.sim.now
+    if completions is not None:
+        completions[node_id] = completion
+    handles = []
+    for child in tree.children_of(node_id):
+        handle = yield from port.send(
+            child, size, info=completion.info or None
+        )
+        handles.append(handle.done)
+    if handles:
+        yield cluster.sim.all_of(handles)
+
+
+def host_based_multicast(
+    cluster: "Cluster", tree: "SpanningTree", size: int, info: Any = None
+) -> dict[str, Any]:
+    """One-shot host-based multicast along *tree*; mirrors
+    :func:`repro.mcast.manager.multicast` for comparison runs."""
+    delivered: dict[int, float] = {}
+    completions: dict[int, Any] = {}
+    procs = [
+        cluster.spawn(
+            host_root_program(cluster, tree, size, info=info), name="hb_root"
+        )
+    ]
+    for node_id in tree.nodes:
+        if node_id == tree.root:
+            continue
+        procs.append(
+            cluster.spawn(
+                host_forwarding_program(
+                    cluster, tree, node_id, size, delivered, completions
+                ),
+                name=f"hb_fwd[{node_id}]",
+            )
+        )
+    cluster.run(until=cluster.sim.all_of(procs))
+    return {"delivered": delivered, "completions": completions}

@@ -1,0 +1,177 @@
+"""One-to-many reliability for NIC-based multicast.
+
+"A multicast packet sent from one NIC to its children has the same
+sequence number and send record, ensuring ordered sending for the same
+group's multicast packets.  When an acknowledgment from one destination
+is received, the acknowledged sequence number for that destination is
+updated.  If the record for a packet is timed out, the retransmission of
+the packet and the following ones will be performed only for the
+destinations which have not acknowledged" (paper §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import ReproError
+from repro.net.packet import GM_HEADER_BYTES, Packet, PacketHeader, PacketType
+from repro.nic.descriptor import PacketDescriptor
+from repro.nic.lanai import TX_PRIO_ACK, TX_PRIO_DATA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gm.tokens import SendToken
+    from repro.mcast.group import GroupState
+
+__all__ = ["McastRecord", "ReliabilityMixin"]
+
+
+@dataclass
+class McastRecord:
+    """Send record for one multicast packet at one NIC."""
+
+    seq: int
+    group_id: int
+    msg_id: int
+    chunk: int
+    nchunks: int
+    payload: int
+    msg_size: int
+    #: children that have not yet acknowledged this seq
+    unacked: set[int] = field(default_factory=set)
+    #: the root's send token (None at intermediate NICs — they use the
+    #: transformed receive token tracked on the held message instead)
+    token: "SendToken | None" = None
+    sent_at: float = 0.0
+    retransmits: int = 0
+    generation: int = 0
+    #: application payload info riding on chunk 0 (survives retransmits)
+    app_info: dict | None = None
+
+
+class ReliabilityMixin:
+    """Ack handling and per-child Go-back-N retransmission.
+
+    Mixed into :class:`~repro.mcast.engine.McastEngine`; expects
+    ``self.nic``, ``self.sim``, ``self.cost``, ``self.table``, and the
+    engine hooks ``_record_completed`` and ``_build_mcast_packet``.
+    """
+
+    # -- ACK reception ------------------------------------------------------
+    def _handle_mcast_ack(self, pkt: Packet, _buf: Any) -> Generator:
+        yield from self.nic.processing(self.cost.nic_ack_processing)
+        h = pkt.header
+        group = self.table.get(h.group)
+        if group is None:
+            return
+        child = h.src
+        if child not in group.child_acked:
+            return  # not one of ours
+        if h.ack_seq <= group.child_acked[child]:
+            return  # stale
+        group.child_acked[child] = h.ack_seq
+        for seq in sorted(group.records):
+            if seq > h.ack_seq:
+                break
+            record = group.records[seq]
+            record.unacked.discard(child)
+            if not record.unacked:
+                del group.records[seq]
+                record.generation += 1  # defuse timer
+                self._record_completed(group, record)
+
+    def _send_mcast_ack(self, group: "GroupState") -> Generator:
+        """Acknowledge the group's current receive seq to the parent."""
+        assert group.parent is not None
+        yield from self.nic.processing(self.cost.nic_ack_generation)
+        ack = Packet(
+            header=PacketHeader(
+                ptype=PacketType.MCAST_ACK,
+                src=self.nic.id,
+                dst=group.parent,
+                origin=self.nic.id,
+                group=group.group_id,
+                port=group.port_num,
+                from_port=group.port_num,
+                ack_seq=group.recv_seq,
+                payload=0,
+            )
+        )
+        self.nic.queue_tx(PacketDescriptor(ack), TX_PRIO_ACK)
+
+    # -- timers -----------------------------------------------------------------
+    def _arm_mcast_timer(self, group: "GroupState", record: McastRecord) -> None:
+        record.generation += 1
+        generation = record.generation
+        self.sim.call_at(
+            self.sim.now + self.cost.ack_timeout,
+            lambda: self._on_mcast_timeout(group, record.seq, generation),
+        )
+
+    def _on_mcast_timeout(
+        self, group: "GroupState", seq: int, generation: int
+    ) -> None:
+        record = group.records.get(seq)
+        if record is None or record.generation != generation:
+            return
+        if seq != min(group.records):
+            self._arm_mcast_timer(group, record)
+            return
+        self.sim.record(
+            self.nic.name, "mcast_timeout", group=group.group_id, seq=seq,
+            unacked=sorted(record.unacked),
+        )
+        self.sim.process(
+            self._retransmit_to_laggards(group, seq),
+            name=f"{self.nic.name}.mcast_gbn",
+        )
+
+    def _retransmit_to_laggards(
+        self, group: "GroupState", from_seq: int
+    ) -> Generator:
+        """Selective Go-back-N: resend ``from_seq`` and successors, but
+        only to children that have not acknowledged each packet.
+
+        Data is re-fetched from (still registered) host memory — the
+        receive buffer was released when forwarding completed.
+        """
+        laggards = {
+            child
+            for seq in group.records
+            if seq >= from_seq
+            for child in group.records[seq].unacked
+        }
+        for child in sorted(laggards):
+            for seq in sorted(group.records):
+                if seq < from_seq:
+                    continue
+                record = group.records.get(seq)
+                if record is None or child not in record.unacked:
+                    continue
+                record.retransmits += 1
+                self.retransmissions += 1
+                if record.retransmits > self.cost.max_retransmits:
+                    raise ReproError(
+                        f"{self.nic.name}: multicast packet seq={seq} "
+                        f"group={group.group_id} retransmitted "
+                        f"{record.retransmits} times to child {child} — "
+                        "peer unreachable"
+                    )
+                self._arm_mcast_timer(group, record)
+                yield from self._retransmit_packet(group, record, child)
+
+    def _retransmit_packet(
+        self, group: "GroupState", record: McastRecord, child: int
+    ) -> Generator:
+        """Stage one retransmission to one child from host memory."""
+        buf = yield self.nic.send_buffers.acquire()
+        yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
+        yield from self.nic.processing(self.cost.nic_per_packet_send)
+        record.sent_at = self.sim.now
+        pkt = self._build_mcast_packet(group, record, child)
+        self.sim.record(
+            self.nic.name, "mcast_retransmit", group=group.group_id,
+            seq=record.seq, child=child, attempt=record.retransmits,
+        )
+        desc = PacketDescriptor(pkt, buffer=buf)  # default free-on-transmit
+        self.nic.queue_tx(desc, TX_PRIO_DATA)

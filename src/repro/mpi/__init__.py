@@ -1,0 +1,20 @@
+"""An MPICH-GM-like MPI layer over the simulated GM stack.
+
+Models what the paper's §5 modification touched: communicators over GM
+ports, eager (≤ 16,287 bytes) and rendezvous (> 16 K, RDMA-style)
+point-to-point transfer, the host-based binomial ``MPI_Bcast`` and the
+NIC-based ``MPI_Bcast`` with demand-driven group creation, a
+dissemination barrier, and the process-skew experiment machinery.
+"""
+
+from repro.mpi.barrier import dissemination_rounds
+from repro.mpi.comm import Communicator, RankContext
+from repro.mpi.skew import SkewResult, run_skew_experiment
+
+__all__ = [
+    "Communicator",
+    "RankContext",
+    "SkewResult",
+    "dissemination_rounds",
+    "run_skew_experiment",
+]

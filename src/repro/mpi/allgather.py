@@ -1,0 +1,164 @@
+"""All-to-all broadcast (MPI_Allgather): ring vs concurrent NIC multicasts.
+
+The second collective named in the paper's future work ("Alltoall
+broadcast", §7).  Host-based baseline: the classic ring — n-1 steps of
+neighbor exchange, each relaying the block it just received.  NIC-based:
+every rank owns a multicast group rooted at itself; one call is n
+concurrent NIC-based multicasts, which the decentralized reliability
+scheme lets proceed independently (no central manager, no credits).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.mcast.group import CreateGroupCommand, local_views
+from repro.mcast.manager import next_group_id
+from repro.trees.builder import build_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import RankContext
+
+__all__ = ["host_allgather", "nic_allgather"]
+
+_RING_TAG = -45
+_AG_GROUP_TAG = -46
+
+
+def host_allgather(
+    ctx: "RankContext", size: int, value: Any
+) -> Generator[Any, Any, list[Any]]:
+    """Ring allgather: n-1 neighbor-exchange steps."""
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    n = ctx.comm.size
+    results: list[Any] = [None] * n
+    results[ctx.rank] = value
+    if n == 1:
+        return results
+    right = (ctx.rank + 1) % n
+    left = (ctx.rank - 1) % n
+    carrying_rank, carrying = ctx.rank, value
+    for _step in range(n - 1):
+        yield from ctx.send(
+            right, size, tag=_RING_TAG,
+            payload={"rank": carrying_rank, "value": carrying},
+        )
+        entry = yield from ctx.recv(source=left, tag=_RING_TAG)
+        carrying_rank = entry["payload"]["rank"]
+        carrying = entry["payload"]["value"]
+        results[carrying_rank] = carrying
+    return results
+
+
+def _ensure_allgather_groups(ctx: "RankContext") -> Generator[Any, Any, dict]:
+    """Create one multicast group per rank, all at once.
+
+    A three-phase handshake (everyone sends specs, everyone installs and
+    acks, everyone collects acks) — the naive per-root sequential
+    creation would deadlock when every rank is a root simultaneously.
+    """
+    comm = ctx.comm
+    groups = getattr(comm, "_allgather_groups", None)
+    known = getattr(ctx, "_allgather_known", False)
+    if groups is not None and known:
+        return groups
+    n = comm.size
+    # Phase A: this rank builds ITS tree and sends every member its view.
+    group_id = next_group_id()
+    members = [comm.node_of_rank[r] for r in range(n)]
+    tree = build_tree(
+        ctx.node.id,
+        [m for m in members if m != ctx.node.id],
+        shape="optimal",
+        cost=ctx.cost,
+        size=ctx.cost.mpi_eager_max // 4,
+    )
+    views = local_views(group_id, tree, port_num=ctx.port.port_num)
+    yield ctx.sim.timeout(ctx.cost.host_send_post)
+    ctx.node.nic.post_command(
+        CreateGroupCommand(port=ctx.port.port_num, state=views[ctx.node.id])
+    )
+    for rank in range(n):
+        if rank == ctx.rank:
+            continue
+        member_node = comm.node_of_rank[rank]
+        yield from ctx.send(
+            rank, 96, tag=_AG_GROUP_TAG,
+            payload={"kind": "spec", "root_rank": ctx.rank,
+                     "group_id": group_id, "view": views[member_node]},
+        )
+    # Phases B+C: install the n-1 incoming specs (acking each), while
+    # also collecting the n-1 acks for our own group.  Specs and acks
+    # interleave arbitrarily (especially under loss-induced reordering).
+    group_of_rank = {ctx.rank: group_id}
+    specs_needed = n - 1
+    acks_needed = n - 1
+    while specs_needed or acks_needed:
+        entry = yield from ctx.recv(tag=_AG_GROUP_TAG)
+        kind = entry["payload"]["kind"]
+        if kind == "spec":
+            specs_needed -= 1
+            root_rank = entry["payload"]["root_rank"]
+            group_of_rank[root_rank] = entry["payload"]["group_id"]
+            yield ctx.sim.timeout(ctx.cost.host_send_post)
+            ctx.node.nic.post_command(
+                CreateGroupCommand(
+                    port=ctx.port.port_num, state=entry["payload"]["view"]
+                )
+            )
+            yield from ctx.send(
+                root_rank, 0, tag=_AG_GROUP_TAG, payload={"kind": "ack"}
+            )
+        else:
+            assert kind == "ack", kind
+            acks_needed -= 1
+    # Publish on the communicator once; every rank verifies agreement.
+    existing = getattr(comm, "_allgather_groups", None)
+    if existing is None:
+        comm._allgather_groups = group_of_rank
+    else:
+        existing.update(group_of_rank)
+    ctx._allgather_known = True
+    return comm._allgather_groups
+
+
+def nic_allgather(
+    ctx: "RankContext", size: int, value: Any
+) -> Generator[Any, Any, list[Any]]:
+    """n concurrent NIC-based multicasts, one per rank."""
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    comm = ctx.comm
+    n = comm.size
+    results: list[Any] = [None] * n
+    results[ctx.rank] = value
+    if n == 1:
+        return results
+    groups = yield from _ensure_allgather_groups(ctx)
+    rank_of_group = {gid: rank for rank, gid in groups.items()}
+    handle = yield from ctx.node.mcast.multicast_send(
+        ctx.port, groups[ctx.rank], size,
+        info={"ag_rank": ctx.rank, "ag_value": value},
+    )
+    del handle
+    # Collect exactly one block per other rank.  Per-group deliveries
+    # are ordered, so the first unconsumed completion of each group is
+    # this round's; any further ones (a fast sender's next round) stay
+    # stashed for the next call.
+    pending_ranks = set(range(n)) - {ctx.rank}
+    for gid, stashed in ctx.group_pending.items():
+        rank = rank_of_group.get(gid)
+        if rank in pending_ranks and stashed:
+            completion = stashed.pop(0)
+            results[rank] = completion.info["ag_value"]
+            pending_ranks.discard(rank)
+            yield ctx.sim.timeout(ctx.cost.memcpy_time(size))
+    while pending_ranks:
+        completion = yield from ctx._pump()
+        rank = rank_of_group.get(completion.group)
+        if rank in pending_ranks:
+            results[rank] = completion.info["ag_value"]
+            pending_ranks.discard(rank)
+            yield ctx.sim.timeout(ctx.cost.memcpy_time(size))
+        else:
+            ctx._stash(completion)
+    return results

@@ -1,0 +1,42 @@
+"""Dissemination barrier.
+
+In round k, rank r sends to ``(r + 2**k) % size`` and waits for the
+message from ``(r - 2**k) % size``; after ``ceil(log2(size))`` rounds
+every rank has transitively heard from every other.  Tags carry the
+barrier epoch and round so overlapping epochs cannot be confused.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import RankContext
+
+__all__ = ["barrier", "dissemination_rounds"]
+
+#: Base of the reserved tag space for barrier traffic.
+_BARRIER_TAG_BASE = -1_000_000
+
+
+def dissemination_rounds(size: int) -> int:
+    """ceil(log2(size)) — rounds needed for *size* ranks."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    return (size - 1).bit_length()
+
+
+def _tag(epoch: int, round_no: int) -> int:
+    return _BARRIER_TAG_BASE - (epoch * 64 + round_no)
+
+
+def barrier(ctx: "RankContext", epoch: int) -> Generator:
+    size = ctx.comm.size
+    if size == 1:
+        return
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    for k in range(dissemination_rounds(size)):
+        to = (ctx.rank + (1 << k)) % size
+        frm = (ctx.rank - (1 << k)) % size
+        yield from ctx.send(to, 0, tag=_tag(epoch, k))
+        yield from ctx.recv(source=frm, tag=_tag(epoch, k))

@@ -1,0 +1,167 @@
+"""MPI_Bcast: host-based binomial and NIC-based implementations.
+
+Host-based (what MPICH-GM does): unicasts along a binomial tree over
+relative ranks; every intermediate *process* must call bcast and relay.
+
+NIC-based (the paper's modification): for eager-sized messages, the
+first broadcast from a given root on a communicator creates a multicast
+group (demand-driven membership update into the NICs), then the root
+posts one NIC multisend and the destinations post blocking receives;
+intermediate NICs forward without host involvement.  Messages beyond
+the eager limit fall back to the host-based path (the rendezvous regime
+is out of the NIC multicast's scope, paper §5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import MPIError
+from repro.gm.api import RecvCompletion
+from repro.mcast.group import CreateGroupCommand, local_views
+from repro.mcast.manager import next_group_id
+from repro.trees.base import SpanningTree
+from repro.trees.binomial import binomial_tree
+from repro.trees.builder import build_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import RankContext
+
+__all__ = ["host_based_bcast", "nic_based_bcast", "rank_binomial_tree"]
+
+#: Tag space reserved for collective plumbing (never collides with user
+#: tags, which must be >= 0).
+_BCAST_TAG = -42
+_GROUP_TAG = -43
+
+
+def rank_binomial_tree(comm_size: int, root: int) -> SpanningTree:
+    """Binomial tree over *relative ranks*, then mapped back to ranks."""
+    relative = binomial_tree(0, list(range(1, comm_size)))
+    remap = {rel: (rel + root) % comm_size for rel in range(comm_size)}
+    return SpanningTree(
+        root=root,
+        children={
+            remap[n]: tuple(remap[c] for c in kids)
+            for n, kids in relative.children.items()
+        },
+    )
+
+
+def host_based_bcast(
+    ctx: "RankContext", root: int, size: int, payload: Any
+) -> Generator:
+    """The traditional implementation: recv from parent, send to kids."""
+    if not 0 <= root < ctx.comm.size:
+        raise MPIError(f"bad root rank {root}")
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    tree = rank_binomial_tree(ctx.comm.size, root)
+    if ctx.rank != root:
+        entry = yield from ctx.recv(
+            source=tree.parent_of(ctx.rank), tag=_BCAST_TAG
+        )
+        payload = entry["payload"]
+    for child in tree.children_of(ctx.rank):
+        yield from ctx.send(child, size, tag=_BCAST_TAG, payload=payload)
+    return payload
+
+
+def nic_based_bcast(
+    ctx: "RankContext", root: int, size: int, payload: Any
+) -> Generator:
+    """The paper's implementation for eager-sized messages."""
+    if not 0 <= root < ctx.comm.size:
+        raise MPIError(f"bad root rank {root}")
+    if size > ctx.cost.mpi_eager_max:
+        if ctx.comm.nic_bcast_rdma:
+            from repro.coll.rdma_bcast import rdma_bcast
+
+            yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+            group_id = ctx.bcast_groups.get(root)
+            if group_id is None:
+                group_id = yield from _create_group(ctx, root)
+            result = yield from rdma_bcast(ctx, root, size, payload, group_id)
+            return result
+        result = yield from host_based_bcast(ctx, root, size, payload)
+        return result
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    group_id = ctx.bcast_groups.get(root)
+    if group_id is None:
+        group_id = yield from _create_group(ctx, root)
+    if ctx.rank == root:
+        handle = yield from ctx.node.mcast.multicast_send(
+            ctx.port, group_id, size,
+            info={"mpi_payload": payload} if payload is not None else None,
+        )
+        del handle  # fire-and-forget: reliability is the NIC's job
+        return payload
+    completion = yield from _group_recv(ctx, group_id)
+    # Eager copy to the user buffer.
+    yield ctx.sim.timeout(ctx.cost.memcpy_time(size))
+    return completion.info.get("mpi_payload")
+
+
+def _group_recv(
+    ctx: "RankContext", group_id: int
+) -> Generator[Any, Any, RecvCompletion]:
+    pending = ctx.group_pending.get(group_id)
+    if pending:
+        return pending.pop(0)
+    while True:
+        completion = yield from ctx._pump()
+        if completion.group == group_id:
+            return completion
+        ctx._stash(completion)
+
+
+def _create_group(ctx: "RankContext", root: int) -> Generator[Any, Any, int]:
+    """Demand-driven group creation — the first-bcast cost (paper §5).
+
+    The root builds the spanning tree (over *node ids*, ID-sorted, the
+    deadlock rule), unicasts each member its local view, waits for all
+    acknowledgments, and only then proceeds.  Members handle their part
+    inside their own first bcast call.
+    """
+    comm = ctx.comm
+    if ctx.rank == root:
+        group_id = next_group_id()
+        members = [comm.node_of_rank[r] for r in range(comm.size)]
+        tree = build_tree(
+            ctx.node.id,
+            [n for n in members if n != ctx.node.id],
+            shape="optimal",
+            cost=ctx.cost,
+            size=ctx.cost.mpi_eager_max // 2,
+        )
+        views = local_views(group_id, tree, port_num=ctx.port.port_num)
+        # Install our own view through the host command path.
+        yield ctx.sim.timeout(ctx.cost.host_send_post)
+        ctx.node.nic.post_command(
+            CreateGroupCommand(
+                port=ctx.port.port_num, state=views[ctx.node.id]
+            )
+        )
+        for rank in range(comm.size):
+            if rank == root:
+                continue
+            member_node = comm.node_of_rank[rank]
+            yield from ctx.send(
+                rank, 96, tag=_GROUP_TAG,
+                payload={"group_id": group_id, "view": views[member_node]},
+            )
+        for _ in range(comm.size - 1):
+            yield from ctx.recv(tag=_GROUP_TAG)
+    else:
+        entry = yield from ctx.recv(source=root, tag=_GROUP_TAG)
+        group_id = entry["payload"]["group_id"]
+        yield ctx.sim.timeout(ctx.cost.host_send_post)
+        ctx.node.nic.post_command(
+            CreateGroupCommand(
+                port=ctx.port.port_num, state=entry["payload"]["view"]
+            )
+        )
+        yield from ctx.send(root, 0, tag=_GROUP_TAG)
+    ctx.bcast_groups[root] = group_id
+    if ctx.rank == root:
+        comm.bcast_groups[root] = group_id
+    return group_id

@@ -1,0 +1,136 @@
+"""Point-to-point transfer: eager and rendezvous protocols.
+
+MPICH-GM semantics (paper §5/§6.2): messages up to 16,287 bytes travel
+eagerly (pushed into the receiver, copied to the user buffer on match);
+larger messages use a rendezvous — request-to-send, clear-to-send after
+the receiver registers its user buffer, then a remote-DMA transfer with
+no intermediate copies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import MPIError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import RankContext
+
+__all__ = ["send", "recv"]
+
+
+def _matches(entry: dict, source: int, tag: int) -> bool:
+    from repro.mpi.comm import ANY_SOURCE, ANY_TAG
+
+    if entry.get("kind") not in ("eager", "rts"):
+        return False
+    if source != ANY_SOURCE and entry.get("src_rank") != source:
+        return False
+    if tag != ANY_TAG and entry.get("tag") != tag:
+        return False
+    return True
+
+
+def _envelope(ctx: "RankContext", dest: int, size: int, tag: int,
+              kind: str, payload: Any = None, **extra: Any) -> dict:
+    env = {
+        "kind": kind,
+        "comm": ctx.comm.comm_id,
+        "src_rank": ctx.rank,
+        "dst_rank": dest,
+        "tag": tag,
+        "size": size,
+        "payload": payload,
+    }
+    env.update(extra)
+    return env
+
+
+def send(ctx: "RankContext", dest: int, size: int, tag: int,
+         payload: Any) -> Generator:
+    if not 0 <= dest < ctx.comm.size:
+        raise MPIError(f"bad destination rank {dest}")
+    if dest == ctx.rank:
+        raise MPIError("self-sends are not supported (use a copy)")
+    dest_node = ctx.comm.node_of_rank[dest]
+    if size <= ctx.cost.mpi_eager_max:
+        env = _envelope(ctx, dest, size, tag, "eager", payload)
+        handle = yield from ctx.port.send(
+            dest_node, size, info={"mpi": env}
+        )
+        # Standard-mode blocking send: returns once the data is out of
+        # the user buffer; with eager GM that is when GM completes.
+        yield handle.done
+        return
+    # Rendezvous: RTS -> wait CTS -> RDMA the data.
+    env = _envelope(ctx, dest, size, tag, "rts")
+    handle = yield from ctx.port.send(dest_node, 0, info={"mpi": env})
+    del handle
+    while True:
+        completion = yield from ctx._pump()
+        info = completion.info.get("mpi", {})
+        if (
+            info.get("kind") == "cts"
+            and info.get("src_rank") == dest
+            and info.get("tag") == tag
+        ):
+            break
+        ctx._stash(completion)
+    # Sender-side registration for the zero-copy transfer.
+    region = ctx.node.memory.register(size)
+    region.pin()
+    yield ctx.sim.timeout(ctx.cost.host_register_cost)
+    env = _envelope(ctx, dest, size, tag, "rdma_data", payload)
+    handle = yield from ctx.port.send(dest_node, size, info={"mpi": env})
+    yield handle.done
+    region.unpin()
+    ctx.node.memory.deregister(region)
+
+
+def recv(ctx: "RankContext", source: int, tag: int) -> Generator:
+    """Blocking receive; returns the matched envelope."""
+    # Check the unexpected queue first (MPI matching order).
+    for i, entry in enumerate(ctx.unexpected):
+        if _matches(entry, source, tag):
+            ctx.unexpected.pop(i)
+            result = yield from _complete_recv(ctx, entry)
+            return result
+    while True:
+        completion = yield from ctx._pump()
+        if completion.group is not None:
+            ctx._stash(completion)
+            continue
+        entry = {"completion": completion, **completion.info.get("mpi", {})}
+        if _matches(entry, source, tag):
+            result = yield from _complete_recv(ctx, entry)
+            return result
+        ctx._stash(completion)
+
+
+def _complete_recv(ctx: "RankContext", entry: dict) -> Generator:
+    if entry["kind"] == "eager":
+        # Copy from the MPICH internal buffer to the user buffer.
+        yield ctx.sim.timeout(ctx.cost.memcpy_time(entry["size"]))
+        return entry
+    assert entry["kind"] == "rts"
+    # Rendezvous responder: register the user buffer, send CTS, await data.
+    src_rank = entry["src_rank"]
+    src_node = ctx.comm.node_of_rank[src_rank]
+    region = ctx.node.memory.register(entry["size"])
+    region.pin()
+    yield ctx.sim.timeout(ctx.cost.host_register_cost)
+    cts = _envelope(ctx, src_rank, 0, entry["tag"], "cts")
+    handle = yield from ctx.port.send(src_node, 0, info={"mpi": cts})
+    del handle
+    while True:
+        completion = yield from ctx._pump()
+        info = completion.info.get("mpi", {})
+        if (
+            info.get("kind") == "rdma_data"
+            and info.get("src_rank") == src_rank
+            and info.get("tag") == entry["tag"]
+        ):
+            region.unpin()
+            ctx.node.memory.deregister(region)
+            return {"completion": completion, **info}
+        ctx._stash(completion)

@@ -1,0 +1,81 @@
+"""MPI_Allreduce: host-based and NIC-based implementations.
+
+Host-based: binomial reduction to rank 0 (each intermediate process
+receives its children's partials, combines on the host, and forwards),
+then a broadcast of the result — the classic MPICH composition.
+
+NIC-based (the paper's future work, implemented in
+:mod:`repro.coll.engine`): contributions combine on the LANais up the
+multicast group tree and the result rides the forwarding machinery down,
+with no host involvement at intermediate nodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.coll.engine import REDUCE_OPS
+from repro.errors import ReproError
+from repro.mpi.bcast import host_based_bcast, rank_binomial_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import RankContext
+
+__all__ = ["host_allreduce", "nic_allreduce", "ensure_collective_group"]
+
+_REDUCE_TAG = -44
+
+
+def host_allreduce(
+    ctx: "RankContext", value: Any, op: str = "sum"
+) -> Generator[Any, Any, Any]:
+    """Binomial reduce-to-0 followed by a host-based broadcast."""
+    if op not in REDUCE_OPS:
+        raise ReproError(f"unknown reduce op {op!r}")
+    combine = REDUCE_OPS[op]
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    tree = rank_binomial_tree(ctx.comm.size, 0)
+    partial = value
+    # Children send before their parent combines; receive in reverse
+    # send order (deepest subtree last) is not required — matching by
+    # source keeps it simple and correct.
+    for child in tree.children_of(ctx.rank):
+        entry = yield from ctx.recv(source=child, tag=_REDUCE_TAG)
+        partial = combine(partial, entry["payload"])
+    parent = tree.parent_of(ctx.rank)
+    if parent is not None:
+        yield from ctx.send(parent, 16, tag=_REDUCE_TAG, payload=partial)
+    result = yield from host_based_bcast(
+        ctx, root=0, size=16, payload=partial if ctx.rank == 0 else None
+    )
+    return result
+
+
+def ensure_collective_group(ctx: "RankContext") -> Generator[Any, Any, int]:
+    """The rank-0-rooted group NIC collectives run over (demand-created
+    through the same machinery as broadcast groups)."""
+    from repro.mpi.bcast import _create_group
+
+    group_id = ctx.bcast_groups.get(0)
+    if group_id is None:
+        group_id = yield from _create_group(ctx, 0)
+    return group_id
+
+
+def nic_allreduce(
+    ctx: "RankContext", value: Any, op: str = "sum"
+) -> Generator[Any, Any, Any]:
+    """NIC-based allreduce over the collective group tree."""
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    group_id = yield from ensure_collective_group(ctx)
+    result = yield from ctx.node.coll.allreduce(
+        ctx.port, group_id, value, op=op
+    )
+    return result
+
+
+def nic_barrier(ctx: "RankContext") -> Generator:
+    """NIC-based barrier over the collective group tree."""
+    yield ctx.sim.timeout(ctx.cost.host_mpi_overhead)
+    group_id = yield from ensure_collective_group(ctx)
+    yield from ctx.node.coll.barrier(ctx.port, group_id)

@@ -1,0 +1,59 @@
+"""Myrinet-like network fabric.
+
+Models the parts of Myrinet-2000 the GM protocol can observe: full-duplex
+2 Gb/s links with serialization and per-hop routing latency, cut-through
+crossbar switches (packet-granularity approximation, see DESIGN.md §3.2),
+source-routed paths over single-switch / Clos / arbitrary topologies, and
+packet-loss injection standing in for the nonzero bit-error rates the
+paper's reliability layer exists to handle.
+"""
+
+from repro.net.fabric import Network
+from repro.net.fault import (
+    BernoulliLoss,
+    BitErrorLoss,
+    CompositeLoss,
+    LossModel,
+    NoLoss,
+    ScriptedLoss,
+)
+from repro.net.link import Link
+from repro.net.packet import (
+    GM_HEADER_BYTES,
+    GM_MTU_PAYLOAD,
+    Packet,
+    PacketHeader,
+    PacketType,
+    split_message,
+)
+from repro.net.switch import CrossbarSwitch
+from repro.net.topology import (
+    Topology,
+    clos,
+    from_graph,
+    line,
+    single_switch,
+)
+
+__all__ = [
+    "BernoulliLoss",
+    "BitErrorLoss",
+    "CompositeLoss",
+    "CrossbarSwitch",
+    "GM_HEADER_BYTES",
+    "GM_MTU_PAYLOAD",
+    "Link",
+    "LossModel",
+    "Network",
+    "NoLoss",
+    "Packet",
+    "PacketHeader",
+    "PacketType",
+    "ScriptedLoss",
+    "Topology",
+    "clos",
+    "from_graph",
+    "line",
+    "single_switch",
+    "split_message",
+]

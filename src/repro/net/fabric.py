@@ -1,0 +1,126 @@
+"""The network fabric: moves packets between attached NICs.
+
+``Network.inject(packet)`` starts a cut-through traversal along the
+source route: the packet head claims each link in order (FIFO contention),
+pays the hop latency, and leaves the link occupied for the serialization
+time behind it; the destination receives the packet one serialization time
+after the head arrives.  Loss injection happens at delivery (a corrupted
+packet is one the receiving NIC's CRC check throws away).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.errors import RoutingError
+from repro.net.fault import LossModel, NoLoss
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.events import SimEvent
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Delivers packets over a :class:`~repro.net.topology.Topology`.
+
+    NICs attach with a sink callable; ``inject`` is fire-and-forget (the
+    NIC's transmit engine has already accounted for injection
+    serialization by waiting on the first link through this traversal).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: Topology,
+        loss: LossModel | None = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.loss = loss or NoLoss()
+        self.loss.bind(sim)
+        self._sinks: dict[int, Callable[[Packet], None]] = {}
+        self.delivered = 0
+        self.dropped = 0
+
+    def attach(self, nic_id: int, sink: Callable[[Packet], None]) -> None:
+        """Register NIC *nic_id*'s receive handler."""
+        if nic_id in self._sinks:
+            raise ValueError(f"NIC {nic_id} already attached")
+        if not 0 <= nic_id < self.topology.n_nodes:
+            raise RoutingError(f"NIC id {nic_id} outside topology")
+        self._sinks[nic_id] = sink
+
+    def inject(
+        self,
+        packet: Packet,
+        on_injected: Callable[[Packet], None] | None = None,
+    ) -> "SimEvent":
+        """Send *packet* from its header.src to header.dst.
+
+        ``on_injected`` fires when the packet's tail has left the source
+        NIC (the transmit DMA engine is done) — the moment a GM-2
+        descriptor callback runs.  Returns the traversal process (an event
+        triggering at delivery or drop).
+        """
+        if packet.dst not in self._sinks:
+            raise RoutingError(f"no NIC attached at {packet.dst}")
+        return self.sim.process(
+            self._traverse(packet, on_injected), name=f"wire:{packet.uid}"
+        )
+
+    def _traverse(
+        self,
+        packet: Packet,
+        on_injected: Callable[[Packet], None] | None = None,
+    ) -> Generator[Any, Any, None]:
+        links = self.topology.route(packet.src, packet.dst)
+        ser = packet.wire_size / self.topology.bandwidth
+        for hop, link in enumerate(links):
+            claim = link.claim_head()
+            yield claim
+            link.account(packet)
+            # The channel is occupied for the serialization time (the tail
+            # streams behind the head); propagation pipelines, so release
+            # is scheduled now and the head crosses concurrently.
+            link.hold_for(claim, ser)
+            if hop == 0 and on_injected is not None:
+                self.sim.call_at(
+                    self.sim.now + ser, lambda: on_injected(packet)
+                )
+            yield self.sim.timeout(link.latency)
+        # The destination has the full packet one serialization after the
+        # head arrives.
+        yield self.sim.timeout(ser)
+        if self.loss.should_drop(packet, self.sim.now):
+            self.dropped += 1
+            self.sim.record(
+                "network",
+                "pkt_drop",
+                uid=packet.uid,
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.header.seq,
+                ptype=packet.header.ptype.value,
+            )
+            return
+        self.delivered += 1
+        self.sim.record(
+            "network",
+            "pkt_deliver",
+            uid=packet.uid,
+            src=packet.src,
+            dst=packet.dst,
+            seq=packet.header.seq,
+            ptype=packet.header.ptype.value,
+        )
+        self._sinks[packet.dst](packet)
+
+    def min_latency(self, src: int, dst: int, wire_size: int) -> float:
+        """Uncontended wire time for a packet of *wire_size* bytes."""
+        links = self.topology.route(src, dst)
+        ser = wire_size / self.topology.bandwidth
+        return sum(l.latency for l in links) + ser

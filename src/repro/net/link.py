@@ -1,0 +1,90 @@
+"""Unidirectional network links.
+
+A link serializes packets at its bandwidth and adds a fixed propagation
+latency.  Serialization occupies the link (FIFO contention); propagation
+pipelines, so back-to-back packets overlap their flight times.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.sim.events import SimEvent
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.net.packet import Packet
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a full-duplex Myrinet cable.
+
+    Parameters
+    ----------
+    bandwidth:
+        Bytes per microsecond (Myrinet-2000: 250 B/µs = 2 Gb/s).
+    latency:
+        Propagation + per-hop routing delay in µs for the packet head.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bandwidth: float,
+        latency: float,
+        name: str = "link",
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._channel = Resource(sim, capacity=1, name=f"{name}.channel")
+        #: Cumulative bytes serialized (utilization accounting).
+        self.bytes_carried = 0
+        self.packets_carried = 0
+
+    def serialization_time(self, packet: "Packet") -> float:
+        return packet.wire_size / self.bandwidth
+
+    @property
+    def busy(self) -> bool:
+        return self._channel.in_use > 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._channel.queue_length
+
+    def claim_head(self) -> SimEvent:
+        """Request the channel for a packet head (cut-through traversal).
+
+        The caller must follow up with :meth:`hold_for` (which schedules the
+        release) once the head has crossed; see ``fabric.Network._traverse``.
+        """
+        return self._channel.request()
+
+    def hold_for(self, claim: SimEvent, duration: float) -> None:
+        """Keep the channel occupied for *duration* µs, then release.
+
+        Runs in the background so the packet head can progress to the next
+        hop while the tail is still streaming through this link.
+        """
+
+        def _release() -> Generator[SimEvent, None, None]:
+            yield self.sim.timeout(duration)
+            self._channel.release(claim)  # type: ignore[arg-type]
+
+        self.sim.process(_release(), name=f"{self.name}.hold")
+
+    def account(self, packet: "Packet") -> None:
+        self.bytes_carried += packet.wire_size
+        self.packets_carried += 1
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} {self.bandwidth}B/us lat={self.latency}us>"

@@ -1,0 +1,172 @@
+"""Network packets and headers.
+
+GM segments messages into MTU-sized packets (4096-byte payload on
+Myrinet-2000).  The header carries everything the protocol engines need:
+type, endpoints, the GM sequence number, and — for the paper's scheme — the
+multicast group identifier that lets an intermediate NIC look up forwarding
+state without host involvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from itertools import count
+from typing import Any
+
+__all__ = [
+    "PacketType",
+    "PacketHeader",
+    "Packet",
+    "GM_MTU_PAYLOAD",
+    "GM_HEADER_BYTES",
+    "split_message",
+]
+
+#: Maximum GM packet payload in bytes (paper §6.1: "The maximum packet size
+#: in GM is 4096 bytes").
+GM_MTU_PAYLOAD = 4096
+
+#: Bytes of header + CRC on the wire per packet (route bytes, GM header,
+#: trailing CRC — a fixed small constant in GM).
+GM_HEADER_BYTES = 16
+
+
+class PacketType(Enum):
+    """Wire-level packet kinds."""
+
+    DATA = "data"  #: unicast GM data
+    ACK = "ack"  #: cumulative acknowledgment
+    MCAST_DATA = "mcast_data"  #: multicast data (group id in header)
+    MCAST_ACK = "mcast_ack"  #: per-group acknowledgment to parent
+    CREDIT = "credit"  #: credit grant (FM/MC, LFC baselines only)
+    CONTROL = "control"  #: miscellaneous small control traffic
+
+    @property
+    def is_data(self) -> bool:
+        return self in (PacketType.DATA, PacketType.MCAST_DATA)
+
+
+_packet_ids = count()
+
+
+@dataclass
+class PacketHeader:
+    """All protocol-visible packet metadata.
+
+    Attributes
+    ----------
+    ptype:
+        Packet kind.
+    src, dst:
+        Network IDs (NIC indices) of this hop's sender and receiver.  For a
+        forwarded multicast packet these are rewritten at each hop.
+    origin:
+        Network ID of the node that first injected the message (the
+        multicast root for group traffic); never rewritten.
+    port:
+        GM port number at the destination.
+    from_port:
+        GM port number at the sender (connections are per port pair).
+    seq:
+        GM sequence number (per-connection for unicast, per-group for
+        multicast).
+    group:
+        Multicast group identifier, ``None`` for unicast traffic.
+    msg_id:
+        Sender-assigned message identifier (ties packets of one message
+        together).
+    chunk:
+        Packet index within the message (0-based).
+    nchunks:
+        Total packets in the message.
+    payload:
+        Payload bytes carried by this packet.
+    msg_size:
+        Total message size in bytes.
+    ack_seq:
+        For ACK packets: cumulative acknowledged sequence number.
+    info:
+        Scheme-specific extras (e.g. the NIC-assisted scheme carries its
+        destination list here; credits ride here for FM/MC and LFC).
+    """
+
+    ptype: PacketType
+    src: int
+    dst: int
+    origin: int
+    port: int = 0
+    from_port: int = 0
+    seq: int = 0
+    group: int | None = None
+    msg_id: int = 0
+    chunk: int = 0
+    nchunks: int = 1
+    payload: int = 0
+    msg_size: int = 0
+    ack_seq: int = -1
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Packet:
+    """A packet in flight.
+
+    ``uid`` is unique per wire transmission *clone* — a retransmitted or
+    replicated packet gets a fresh ``uid`` so traces can tell copies apart —
+    while ``header.msg_id``/``header.chunk`` identify the logical data.
+    """
+
+    header: PacketHeader
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes occupying the wire (payload + fixed header/CRC)."""
+        return self.header.payload + GM_HEADER_BYTES
+
+    @property
+    def dst(self) -> int:
+        return self.header.dst
+
+    @property
+    def src(self) -> int:
+        return self.header.src
+
+    def clone(self, **header_overrides: Any) -> "Packet":
+        """A fresh copy with a new uid and updated header fields.
+
+        This is what a GM-2 descriptor callback does when it "changes the
+        packet header and queues it for transmission again".
+        """
+        new_header = replace(
+            self.header, info=dict(self.header.info), **header_overrides
+        )
+        return Packet(header=new_header)
+
+    def describe(self) -> str:
+        h = self.header
+        grp = f" grp={h.group}" if h.group is not None else ""
+        return (
+            f"{h.ptype.value}[{h.src}->{h.dst}{grp} seq={h.seq} "
+            f"msg={h.msg_id} chunk={h.chunk}/{h.nchunks} {h.payload}B]"
+        )
+
+
+def split_message(size: int, mtu: int = GM_MTU_PAYLOAD) -> list[int]:
+    """Payload sizes of the packets a *size*-byte message segments into.
+
+    A zero-byte message still occupies one (header-only) packet, matching
+    GM's behaviour for empty sends.
+    """
+    if size < 0:
+        raise ValueError(f"negative message size {size}")
+    if mtu <= 0:
+        raise ValueError(f"mtu must be positive, got {mtu}")
+    if size == 0:
+        return [0]
+    full, rem = divmod(size, mtu)
+    chunks = [mtu] * full
+    if rem:
+        chunks.append(rem)
+    return chunks

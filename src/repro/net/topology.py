@@ -1,0 +1,253 @@
+"""Network topologies and source-route computation.
+
+The paper's testbed connects 16 nodes through a Myrinet-2000 network whose
+default hardware topology is a Clos network; at 16 nodes that is a single
+crossbar.  Builders here produce single-switch, two-level Clos, line, and
+arbitrary (networkx-graph) fabrics; routes are shortest paths computed once
+and cached (Myrinet is source-routed, so routes are static per pair).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import zlib
+
+import networkx as nx
+
+from repro.errors import ConfigError, RoutingError
+from repro.net.link import Link
+from repro.net.switch import CrossbarSwitch, PortRef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Topology", "single_switch", "clos", "line", "from_graph"]
+
+_NIC = "nic"
+_SWITCH = "switch"
+
+
+class Topology:
+    """A wired fabric: switches, NIC attachment points, directed links.
+
+    Nodes of the internal graph are ``("nic", i)`` or ``("switch", s)``.
+    Every physical cable is two directed :class:`Link` objects.  Routes are
+    link-lists from source NIC to destination NIC, memoized.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        n_nodes: int,
+        bandwidth: float,
+        link_latency: float,
+        hop_latency: float,
+        name: str = "topology",
+    ):
+        if n_nodes < 1:
+            raise ConfigError(f"need at least one node, got {n_nodes}")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.bandwidth = bandwidth
+        self.link_latency = link_latency
+        self.hop_latency = hop_latency
+        self.name = name
+        self.graph = nx.Graph()
+        self.switches: list[CrossbarSwitch] = []
+        #: directed links keyed by (graph-node, graph-node)
+        self._links: dict[tuple, Link] = {}
+        self._route_cache: dict[tuple[int, int], list[Link]] = {}
+        for i in range(n_nodes):
+            self.graph.add_node((_NIC, i))
+
+    # -- construction ------------------------------------------------------
+    def add_switch(self, radix: int) -> CrossbarSwitch:
+        sw = CrossbarSwitch(len(self.switches), radix, self.hop_latency)
+        self.switches.append(sw)
+        self.graph.add_node((_SWITCH, sw.switch_id))
+        return sw
+
+    def cable(self, a: tuple, b: tuple) -> None:
+        """Run a full-duplex cable between graph nodes *a* and *b*."""
+        for endpoint in (a, b):
+            if endpoint not in self.graph:
+                raise ConfigError(f"unknown endpoint {endpoint!r}")
+        if self.graph.has_edge(a, b):
+            raise ConfigError(f"duplicate cable {a!r} <-> {b!r}")
+        self.graph.add_edge(a, b)
+        for u, v in ((a, b), (b, a)):
+            # A link terminating at a switch pays that switch's routing
+            # (head-arbitration) delay on top of cable propagation.
+            latency = self.link_latency
+            if v[0] == _SWITCH:
+                latency += self.hop_latency
+            self._links[(u, v)] = Link(
+                self.sim,
+                self.bandwidth,
+                latency,
+                name=f"{u}->{v}",
+            )
+
+    def wire_nic_to_switch(self, nic_id: int, switch: CrossbarSwitch) -> None:
+        port = switch.free_ports[0] if switch.free_ports else None
+        if port is None:
+            raise ConfigError(f"switch {switch.switch_id} is full")
+        switch.attach(port, PortRef(nic_id, 0))
+        self.cable((_NIC, nic_id), (_SWITCH, switch.switch_id))
+
+    def wire_switches(self, a: CrossbarSwitch, b: CrossbarSwitch) -> None:
+        pa = a.free_ports[0] if a.free_ports else None
+        pb = b.free_ports[0] if b.free_ports else None
+        if pa is None or pb is None:
+            raise ConfigError("no free ports for inter-switch cable")
+        a.attach(pa, PortRef(b, pb))
+        b.attach(pb, PortRef(a, pa))
+        self.cable((_SWITCH, a.switch_id), (_SWITCH, b.switch_id))
+
+    # -- routing -------------------------------------------------------------
+    def route(self, src: int, dst: int) -> list[Link]:
+        """The directed links a packet crosses from NIC *src* to NIC *dst*."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            raise RoutingError(f"route requested from NIC {src} to itself")
+        for nic in (src, dst):
+            if not 0 <= nic < self.n_nodes:
+                raise RoutingError(f"unknown NIC id {nic}")
+        try:
+            paths = list(
+                nx.all_shortest_paths(self.graph, (_NIC, src), (_NIC, dst))
+            )
+        except nx.NetworkXNoPath as exc:
+            raise RoutingError(f"no path from NIC {src} to NIC {dst}") from exc
+        # Myrinet source routes are computed once and dispersed across
+        # equal-cost paths (spine switches in a Clos); pick one
+        # deterministically per pair so traffic does not funnel through
+        # a single spine.
+        paths.sort()
+        digest = zlib.crc32(f"{src}->{dst}".encode())
+        nodes = paths[digest % len(paths)]
+        links = [self._links[(u, v)] for u, v in zip(nodes, nodes[1:])]
+        self._route_cache[key] = links
+        return links
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of links on the src→dst route."""
+        return len(self.route(src, dst))
+
+    def switch_count(self) -> int:
+        return len(self.switches)
+
+    def all_links(self) -> list[Link]:
+        return list(self._links.values())
+
+    def validate(self) -> None:
+        """Check every NIC can reach every other NIC."""
+        for src in range(self.n_nodes):
+            for dst in range(self.n_nodes):
+                if src != dst:
+                    self.route(src, dst)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Topology {self.name!r} nodes={self.n_nodes} "
+            f"switches={len(self.switches)} links={len(self._links)}>"
+        )
+
+
+def single_switch(
+    sim: "Simulator",
+    n_nodes: int,
+    bandwidth: float,
+    link_latency: float,
+    hop_latency: float,
+) -> Topology:
+    """All NICs on one crossbar — Myrinet's topology for ≤16 nodes."""
+    topo = Topology(
+        sim, n_nodes, bandwidth, link_latency, hop_latency, name="single-switch"
+    )
+    sw = topo.add_switch(radix=max(n_nodes, 2))
+    for i in range(n_nodes):
+        topo.wire_nic_to_switch(i, sw)
+    return topo
+
+
+def clos(
+    sim: "Simulator",
+    n_nodes: int,
+    bandwidth: float,
+    link_latency: float,
+    hop_latency: float,
+    radix: int = 16,
+) -> Topology:
+    """A two-level Clos (fat-tree) of radix-``radix`` crossbars.
+
+    Each leaf switch hosts ``radix // 2`` NICs and has ``radix // 2``
+    uplinks, one to every spine switch — the standard full-bisection
+    Myrinet-2000 Clos.  Falls back to a single switch when everything fits
+    on one crossbar (which is the paper's 16-node case).
+    """
+    if radix < 4 or radix % 2:
+        raise ConfigError(f"clos radix must be even and >= 4, got {radix}")
+    if n_nodes <= radix:
+        return single_switch(sim, n_nodes, bandwidth, link_latency, hop_latency)
+    half = radix // 2
+    n_leaves = -(-n_nodes // half)  # ceil
+    topo = Topology(
+        sim, n_nodes, bandwidth, link_latency, hop_latency, name="clos"
+    )
+    leaves = [topo.add_switch(radix) for _ in range(n_leaves)]
+    spines = [topo.add_switch(max(n_leaves, 2)) for _ in range(half)]
+    for i in range(n_nodes):
+        topo.wire_nic_to_switch(i, leaves[i // half])
+    for leaf in leaves:
+        for spine in spines:
+            topo.wire_switches(leaf, spine)
+    return topo
+
+
+def line(
+    sim: "Simulator",
+    n_nodes: int,
+    bandwidth: float,
+    link_latency: float,
+    hop_latency: float,
+    nodes_per_switch: int = 4,
+) -> Topology:
+    """Switches in a chain — a worst-case diameter topology for stress tests."""
+    if nodes_per_switch < 1:
+        raise ConfigError("nodes_per_switch must be >= 1")
+    n_switches = -(-n_nodes // nodes_per_switch)
+    topo = Topology(sim, n_nodes, bandwidth, link_latency, hop_latency, name="line")
+    switches = [topo.add_switch(nodes_per_switch + 2) for _ in range(n_switches)]
+    for i in range(n_nodes):
+        topo.wire_nic_to_switch(i, switches[i // nodes_per_switch])
+    for a, b in zip(switches, switches[1:]):
+        topo.wire_switches(a, b)
+    return topo
+
+
+def from_graph(
+    sim: "Simulator",
+    nic_to_switch: dict[int, int],
+    switch_edges: Iterable[tuple[int, int]],
+    bandwidth: float,
+    link_latency: float,
+    hop_latency: float,
+    radix: int = 32,
+) -> Topology:
+    """Build an arbitrary fabric from NIC→switch placement and switch edges."""
+    n_nodes = len(nic_to_switch)
+    if sorted(nic_to_switch) != list(range(n_nodes)):
+        raise ConfigError("nic ids must be 0..n-1")
+    topo = Topology(sim, n_nodes, bandwidth, link_latency, hop_latency, name="custom")
+    n_switches = max(nic_to_switch.values()) + 1
+    switches = [topo.add_switch(radix) for _ in range(n_switches)]
+    for nic, sw in sorted(nic_to_switch.items()):
+        topo.wire_nic_to_switch(nic, switches[sw])
+    for a, b in switch_edges:
+        topo.wire_switches(switches[a], switches[b])
+    return topo

@@ -1,0 +1,22 @@
+"""LANai-class NIC model.
+
+The NIC is where the paper's contribution lives: a slow programmable
+processor (modelled as a capacity-1 resource with per-operation costs from
+the :class:`~repro.gm.params.GMCostModel`), DMA engines sharing the PCI
+bus, bounded SRAM packet-buffer pools, and — new in GM-2 — *myrinet packet
+descriptors* whose completion callbacks let firmware re-queue a packet
+with a rewritten header, the mechanism behind NIC-based multisend and
+forwarding.
+"""
+
+from repro.nic.descriptor import PacketDescriptor
+from repro.nic.lanai import NIC, HostCommand
+from repro.nic.sram import BufferPool, SRAMBuffer
+
+__all__ = [
+    "NIC",
+    "BufferPool",
+    "HostCommand",
+    "PacketDescriptor",
+    "SRAMBuffer",
+]

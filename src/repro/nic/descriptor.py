@@ -1,0 +1,73 @@
+"""GM-2 myrinet packet descriptors.
+
+"Recent alpha releases of GM-2.0 provide a myrinet packet descriptor for
+every network packet and also a callback handler to each descriptor.  A
+packet descriptor and its callback handler provide a way to take necessary
+actions on this packet when appropriate ... to send a replica to another
+destination, a callback handler can change the packet header and queue it
+for transmission again" (paper §4).
+
+A descriptor couples a packet, the SRAM buffer holding its bytes, and a
+completion callback run on the NIC once the transmit DMA engine has
+finished putting the packet on the wire.  Callbacks may be plain callables
+(cheap bookkeeping) or generators (NIC work: they will typically hold the
+NIC CPU to rewrite the header and then re-queue the same descriptor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.packet import Packet
+    from repro.nic.sram import SRAMBuffer
+
+__all__ = ["PacketDescriptor"]
+
+_desc_ids = count()
+
+#: A callback receives the descriptor; returning a generator makes the NIC
+#: run it as simulated work.
+DescriptorCallback = Callable[
+    ["PacketDescriptor"], Optional[Generator[Any, Any, None]]
+]
+
+
+@dataclass
+class PacketDescriptor:
+    """Describes one queued network packet.
+
+    Attributes
+    ----------
+    packet:
+        The packet to transmit.
+    buffer:
+        SRAM buffer holding the packet bytes; ``None`` for header-only
+        control packets (ACKs) generated in scratch space.
+    on_transmit:
+        Callback invoked after the transmit DMA engine completes.  When
+        ``None``, the NIC's default completion frees the buffer.
+    context:
+        Free-form protocol state riding with the descriptor (e.g. the
+        remaining destination list of a multisend).
+    """
+
+    packet: "Packet"
+    buffer: Optional["SRAMBuffer"] = None
+    on_transmit: DescriptorCallback | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_desc_ids))
+
+    def retarget(self, **header_overrides: Any) -> None:
+        """Rewrite the packet header in place for the next replica.
+
+        This models the callback-handler header change: the *same* SRAM
+        bytes go out again under a new header, so only a fresh packet
+        identity (clone) is created — no data movement.
+        """
+        self.packet = self.packet.clone(**header_overrides)
+
+    def __repr__(self) -> str:
+        return f"<desc#{self.uid} {self.packet.describe()}>"

@@ -1,0 +1,161 @@
+"""The simulation engine: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator
+
+from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+__all__ = ["Simulator", "URGENT", "NORMAL"]
+
+#: Priority for internal immediate resumptions (processed before NORMAL
+#: events scheduled at the same instant).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a ``float`` in *microseconds* throughout this project (all cost
+    models are expressed in µs and bytes/µs).
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams (see :meth:`rng`).
+    trace:
+        If true, record :class:`~repro.sim.trace.TraceRecord` entries for
+        component events (components call :meth:`record`).
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        self._heap: list[tuple[float, int, int, SimEvent]] = []
+        self._now: float = 0.0
+        self._seq = count()
+        self._rngs = RngRegistry(seed)
+        self.seed = seed
+        self.trace = Tracer(enabled=trace)
+
+    # -- clock & introspection -------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.3f}us queued={len(self._heap)}>"
+
+    # -- event factories ---------------------------------------------------
+    def event(self, name: str | None = None) -> SimEvent:
+        """Create a fresh, untriggered event."""
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` µs from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[SimEvent, Any, Any],
+        name: str | None = None,
+    ) -> Process:
+        """Start driving *generator* as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: list[SimEvent]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[SimEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    def rng(self, name: str):
+        """A named, deterministic ``random.Random`` stream."""
+        return self._rngs.get(name)
+
+    def record(self, component: str, category: str, **fields: Any) -> None:
+        """Append a trace record at the current time (no-op if disabled)."""
+        self.trace.record(self._now, component, category, fields)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def call_at(
+        self, when: float, fn: Callable[[], None], *, priority: int = NORMAL
+    ) -> SimEvent:
+        """Run ``fn()`` at absolute time *when* (>= now)."""
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        ev = Timeout(self, when - self._now)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    # -- run loop ----------------------------------------------------------
+    def step(self) -> None:
+        """Process one event from the queue."""
+        if not self._heap:
+            raise EmptySchedule
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: float | SimEvent | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a ``float`` — run until simulated time reaches that instant;
+        * a :class:`SimEvent` — run until that event is processed, and
+          return its value (raising its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, SimEvent):
+            stop = until
+            if stop.processed:
+                if not stop.ok:
+                    raise stop.value
+                return stop.value
+            flag: list[bool] = []
+            stop.add_callback(lambda _ev: flag.append(True))
+            while not flag:
+                if not self._heap:
+                    raise RuntimeError(
+                        f"simulation ran out of events before {stop!r} triggered"
+                    )
+                self.step()
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"run(until={horizon}) is in the past")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

@@ -1,0 +1,113 @@
+"""Generator-coroutine process driver.
+
+A *process* wraps a Python generator that yields :class:`SimEvent`
+instances.  When a yielded event triggers, the process is resumed with the
+event's value (or, if the event failed, the exception is thrown into the
+generator).  When the generator returns, the process — itself an event —
+succeeds with the generator's return value, so processes can be waited on
+and composed like any other event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Interrupt, SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(SimEvent):
+    """A running simulation process (also an event: triggers on exit)."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[SimEvent, Any, Any],
+        name: str | None = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", None))
+        self._generator = generator
+        #: The event this process is currently waiting on (None if not
+        #: started or finished).
+        self._target: SimEvent | None = None
+        # Kick off at the current instant, with urgent priority so a
+        # just-created process starts before same-time ordinary events.
+        boot = SimEvent(sim, name=f"boot:{self.name}")
+        boot._ok = True
+        boot._value = None
+        sim._schedule(boot, 0.0, 0)
+        boot.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The event the process was waiting on is abandoned (its callback is
+        detached); the process decides what to do with the interrupt.
+        Interrupting a finished process raises :class:`RuntimeError`.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self!r}")
+        if self._target is None:
+            raise RuntimeError(f"cannot interrupt unstarted process {self!r}")
+        self._target.remove_callback(self._resume)
+        self._target = None
+        poke = SimEvent(self.sim, name=f"interrupt:{self.name}")
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        # defused: the failure is delivered via throw(), never "unhandled".
+        self.sim._schedule(poke, 0.0, 0)
+        poke.add_callback(self._resume)
+
+    def _resume(self, event: SimEvent) -> None:
+        self._target = None
+        while True:
+            try:
+                if event.ok:
+                    target = self._generator.send(event.value)
+                else:
+                    target = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value, priority=0)
+                return
+            except BaseException as exc:
+                if self.callbacks:
+                    # Someone is waiting on this process: propagate to them.
+                    self.fail(exc, priority=0)
+                    return
+                raise
+            if not isinstance(target, SimEvent):
+                err = RuntimeError(
+                    f"process {self.name!r} yielded {target!r}, "
+                    "which is not a SimEvent"
+                )
+                try:
+                    self._generator.throw(err)
+                except StopIteration as stop:
+                    self.succeed(stop.value, priority=0)
+                    return
+                raise err
+            if target.sim is not self.sim:
+                raise ValueError("yielded an event from a different simulator")
+            if target.processed:
+                # Already done: loop around synchronously (no rescheduling),
+                # keeping same-instant semantics cheap and deterministic.
+                event = target
+                continue
+            self._target = target
+            target.add_callback(self._resume)
+            return

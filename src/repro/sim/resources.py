@@ -1,0 +1,204 @@
+"""Shared-resource primitives: semaphores and FIFO stores.
+
+These model contended hardware in the stack: the LANai processor and PCI
+bus are capacity-1 :class:`Resource` objects, packet queues are
+:class:`Store` objects, and bounded buffer pools are stores pre-filled with
+buffer objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Resource", "Request", "Store", "PriorityStore"]
+
+
+class Request(SimEvent):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A counted resource (semaphore) with priority-FIFO granting.
+
+    ``request()`` returns an event that succeeds when the claim is granted;
+    ``release(req)`` returns the unit.  Lower *priority* values are granted
+    first; ties are FIFO.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: list[tuple[int, int, Request]] = []
+        self._seq = count()
+        #: Accumulated held time from :meth:`use`, µs (utilization
+        #: accounting; direct request/release pairs are not tracked).
+        self.busy_time = 0.0
+        #: Number of :meth:`use` holds completed.
+        self.use_count = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of granted, un-released claims."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of claims waiting to be granted."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        req = Request(self, priority)
+        if self._in_use < self.capacity and not self._waiting:
+            self._in_use += 1
+            req.succeed(req)
+        else:
+            heapq.heappush(self._waiting, (priority, next(self._seq), req))
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the unit held by *request*."""
+        if request.resource is not self:
+            raise ValueError("request does not belong to this resource")
+        if not request.triggered:
+            # Cancelling a never-granted claim: drop it from the queue.
+            self._waiting = [
+                entry for entry in self._waiting if entry[2] is not request
+            ]
+            heapq.heapify(self._waiting)
+            return
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise RuntimeError(f"double release on {self.name or self!r}")
+        while self._waiting and self._in_use < self.capacity:
+            _prio, _seq, nxt = heapq.heappop(self._waiting)
+            self._in_use += 1
+            nxt.succeed(nxt)
+
+    def use(
+        self, duration: float, priority: int = 0
+    ) -> Generator[SimEvent, Any, None]:
+        """``yield from`` helper: acquire, hold for *duration* µs, release.
+
+        The dominant pattern for modelling the NIC processor and PCI bus:
+        ``yield from nic.cpu.use(cost.send_token_processing)``.
+        """
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+            self.busy_time += duration
+            self.use_count += 1
+        finally:
+            self.release(req)
+
+
+class Store:
+    """An unbounded FIFO of items with event-based ``get``.
+
+    ``put`` never blocks (queues in the NIC model are bounded by the buffer
+    pools that feed them, not by the queue itself).  ``get`` returns an
+    event that succeeds with the next item, in strict FIFO order of both
+    items and getters.
+    """
+
+    def __init__(self, sim: "Simulator", name: str | None = None):
+        self.sim = sim
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[SimEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of queued items (for tests and introspection)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> SimEvent:
+        ev = self.sim.event(name=f"get:{self.name}" if self.name else None)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _take(self) -> Any:
+        return self._items.pop(0)
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(self._take())
+
+
+class PriorityStore(Store):
+    """A store whose items are returned lowest-key first.
+
+    Items are ``(priority_key, payload)`` pairs inserted with
+    :meth:`put_priority`; plain :meth:`put` uses priority ``0``.
+    """
+
+    def __init__(self, sim: "Simulator", name: str | None = None):
+        super().__init__(sim, name=name)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        return tuple(payload for _k, _s, payload in sorted(self._heap))
+
+    def put(self, item: Any) -> None:
+        self.put_priority(0, item)
+
+    def put_priority(self, priority: Any, item: Any) -> None:
+        heapq.heappush(self._heap, (priority, next(self._seq), item))
+        self._dispatch()
+
+    def _take(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+    def _dispatch(self) -> None:
+        while self._heap and self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(self._take())
+
+
+def drain(store: Store, sink: Callable[[Any], Iterable[SimEvent] | None]):
+    """Build a generator that forever gets items and feeds them to *sink*.
+
+    If *sink* returns a generator it is run inline (``yield from``); this is
+    the standard shape of NIC engine loops.
+    """
+
+    def _loop() -> Generator[SimEvent, Any, None]:
+        while True:
+            item = yield store.get()
+            result = sink(item)
+            if result is not None:
+                yield from result
+
+    return _loop()

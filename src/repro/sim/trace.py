@@ -1,0 +1,108 @@
+"""Structured trace recording.
+
+Traces are how the Fig. 2 timing-diagram reproduction and many integration
+tests observe the stack: components call ``sim.record(component, category,
+**fields)`` and tests/experiments filter the resulting records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated time in µs.
+    component:
+        Emitting component, e.g. ``"nic[3]"`` or ``"host[0]"``.
+    category:
+        Event kind, e.g. ``"tx_start"``, ``"pkt_recv"``, ``"retransmit"``.
+    fields:
+        Free-form event payload.
+    """
+
+    time: float
+    component: str
+    category: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def record(
+        self, time: float, component: str, category: str, fields: dict[str, Any]
+    ) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, component, category, fields))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(
+        self,
+        component: str | None = None,
+        category: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+        since: float = 0.0,
+    ) -> list[TraceRecord]:
+        """Records matching all given criteria, in time order."""
+        out = []
+        for rec in self.records:
+            if rec.time < since:
+                continue
+            if component is not None and rec.component != component:
+                continue
+            if category is not None and rec.category != category:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def categories(self) -> set[str]:
+        return {rec.category for rec in self.records}
+
+    def spans(
+        self, start_category: str, end_category: str, key: str
+    ) -> list[tuple[Any, float, float]]:
+        """Pair up start/end records by ``fields[key]``.
+
+        Returns ``(key_value, start_time, end_time)`` triples for every
+        start that found a matching later end — the building block of the
+        Fig. 2 timeline extraction.
+        """
+        open_spans: dict[Any, float] = {}
+        out: list[tuple[Any, float, float]] = []
+        for rec in self.records:
+            if rec.category == start_category and key in rec.fields:
+                open_spans.setdefault(rec.fields[key], rec.time)
+            elif rec.category == end_category and key in rec.fields:
+                k = rec.fields[key]
+                if k in open_spans:
+                    out.append((k, open_spans.pop(k), rec.time))
+        return out

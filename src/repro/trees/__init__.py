@@ -1,0 +1,37 @@
+"""Spanning-tree construction for multicast.
+
+Trees are constructed **at the host** (paper §5: the LANai is too slow)
+and preposted to the NICs as group tables.  The package provides the
+binomial tree MPICH's host-based broadcast uses, reference shapes (flat,
+chain, k-ary), and the latency-optimal postal-model tree of Bar-Noy &
+Kipnis that the paper's NIC-based multicast uses — whose shape depends on
+the message size through the cost model.
+"""
+
+from repro.trees.base import SpanningTree
+from repro.trees.binomial import binomial_tree
+from repro.trees.builder import build_tree, check_deadlock_ordering
+from repro.trees.metrics import TreeStats, tree_stats
+from repro.trees.postal import (
+    PostalParams,
+    optimal_postal_tree,
+    postal_completion_time,
+    postal_params,
+)
+from repro.trees.shapes import chain_tree, flat_tree, kary_tree
+
+__all__ = [
+    "PostalParams",
+    "SpanningTree",
+    "TreeStats",
+    "binomial_tree",
+    "build_tree",
+    "chain_tree",
+    "check_deadlock_ordering",
+    "flat_tree",
+    "kary_tree",
+    "optimal_postal_tree",
+    "postal_completion_time",
+    "postal_params",
+    "tree_stats",
+]

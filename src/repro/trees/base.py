@@ -1,0 +1,131 @@
+"""The spanning-tree data structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import TreeError
+
+__all__ = ["SpanningTree"]
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """A rooted multicast tree over node (network) IDs.
+
+    ``children[n]`` is the **ordered** list of n's children — the order is
+    the send order, which matters for latency (first child's subtree has
+    the most time to forward).  Instances are immutable and validated at
+    construction.
+    """
+
+    root: int
+    children: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalize child lists to tuples.
+        object.__setattr__(
+            self,
+            "children",
+            {n: tuple(kids) for n, kids in self.children.items()},
+        )
+        self.validate()
+
+    # -- structure --------------------------------------------------------
+    @property
+    def nodes(self) -> list[int]:
+        """All nodes, in BFS order from the root."""
+        out = [self.root]
+        frontier = [self.root]
+        while frontier:
+            nxt: list[int] = []
+            for n in frontier:
+                for c in self.children.get(n, ()):
+                    out.append(c)
+                    nxt.append(c)
+            frontier = nxt
+        return out
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def children_of(self, node: int) -> tuple[int, ...]:
+        return self.children.get(node, ())
+
+    def parent_of(self, node: int) -> int | None:
+        if node == self.root:
+            return None
+        for n, kids in self.children.items():
+            if node in kids:
+                return n
+        raise TreeError(f"node {node} not in tree")
+
+    def depth_of(self, node: int) -> int:
+        depth = 0
+        while node != self.root:
+            parent = self.parent_of(node)
+            assert parent is not None
+            node = parent
+            depth += 1
+        return depth
+
+    @property
+    def max_depth(self) -> int:
+        return max((self.depth_of(n) for n in self.nodes), default=0)
+
+    def leaves(self) -> list[int]:
+        return [n for n in self.nodes if not self.children.get(n)]
+
+    def interior(self) -> list[int]:
+        """Non-leaf, non-root nodes — the forwarding nodes."""
+        return [
+            n for n in self.nodes
+            if n != self.root and self.children.get(n)
+        ]
+
+    def subtree_nodes(self, node: int) -> list[int]:
+        out = [node]
+        frontier = [node]
+        while frontier:
+            nxt: list[int] = []
+            for n in frontier:
+                for c in self.children.get(n, ()):
+                    out.append(c)
+                    nxt.append(c)
+            frontier = nxt
+        return out
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for n, kids in self.children.items():
+            for c in kids:
+                yield (n, c)
+
+    # -- validation ------------------------------------------------------------
+    def validate(self) -> None:
+        seen: set[int] = set()
+        frontier = [self.root]
+        seen.add(self.root)
+        while frontier:
+            nxt: list[int] = []
+            for n in frontier:
+                for c in self.children.get(n, ()):
+                    if c in seen:
+                        raise TreeError(
+                            f"node {c} reached twice — not a tree"
+                        )
+                    seen.add(c)
+                    nxt.append(c)
+            frontier = nxt
+        extra = set(self.children) - seen
+        if extra:
+            raise TreeError(
+                f"children map names unreachable parents: {sorted(extra)}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpanningTree root={self.root} n={self.size} "
+            f"depth={self.max_depth}>"
+        )

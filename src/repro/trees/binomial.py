@@ -1,0 +1,46 @@
+"""The binomial broadcast tree (MPICH's host-based algorithm).
+
+In a binomial broadcast over ranks ``0..p-1`` relative to the root, each
+rank receives from ``relrank - 2**j`` (where ``2**j`` is the lowest set
+bit of its relative rank) and sends to ``relrank + 2**j`` for each ``j``
+above its own lowest set bit, largest subtree first.  This is the tree
+the traditional host-based multicast uses (paper §6.1: "the same size
+binomial tree used in the traditional host-based multicast").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.trees.base import SpanningTree
+from repro.trees.shapes import _check_members
+
+__all__ = ["binomial_tree"]
+
+
+def binomial_tree(root: int, destinations: Sequence[int]) -> SpanningTree:
+    """Binomial tree over ``[root] + destinations`` in the given order.
+
+    Positions in the concatenated list act as relative ranks; the caller
+    controls the node order (experiments use ID-sorted destinations, as
+    the paper's deadlock rule requires).
+    """
+    dests = _check_members(root, destinations)
+    members = [root] + dests
+    p = len(members)
+    children: dict[int, list[int]] = {m: [] for m in members}
+    for relrank in range(1, p):
+        lowbit = relrank & (-relrank)
+        parent_rel = relrank - lowbit
+        children[members[parent_rel]].append(members[relrank])
+    # Largest subtree first: a child at distance 2**j from its parent
+    # roots a subtree of up to 2**j nodes, so send to the farthest child
+    # first (MPICH sends in decreasing subtree order).
+    ordered: dict[int, tuple[int, ...]] = {}
+    index = {m: i for i, m in enumerate(members)}
+    for node, kids in children.items():
+        if kids:
+            ordered[node] = tuple(
+                sorted(kids, key=lambda c: index[c], reverse=True)
+            )
+    return SpanningTree(root=root, children=ordered)

@@ -1,0 +1,75 @@
+"""High-level tree construction with the paper's deadlock-ordering rule.
+
+Paper §5 ("Deadlock"): *"we sort the list of destinations linearly by
+their network IDs before tree construction, and a child must have a
+network ID greater than its parent unless its parent is the root"* —
+this breaks any cycle in the receive-token wait graph across concurrent
+broadcasts, because token waits then only point from smaller to larger
+IDs (the root uses send tokens, never a receive token).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import TreeError
+from repro.trees.base import SpanningTree
+from repro.trees.binomial import binomial_tree
+from repro.trees.postal import optimal_postal_tree, postal_params
+from repro.trees.shapes import chain_tree, flat_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gm.params import GMCostModel
+
+__all__ = ["build_tree", "check_deadlock_ordering"]
+
+
+def check_deadlock_ordering(tree: SpanningTree) -> None:
+    """Raise :class:`TreeError` unless the ID-ordering rule holds."""
+    for parent, child in tree.edges():
+        if parent == tree.root:
+            continue
+        if child <= parent:
+            raise TreeError(
+                f"deadlock-ordering violation: child {child} <= parent "
+                f"{parent} (non-root parents must have smaller IDs)"
+            )
+
+
+def build_tree(
+    root: int,
+    destinations: Iterable[int],
+    *,
+    shape: str = "optimal",
+    cost: "GMCostModel | None" = None,
+    size: int = 0,
+    scheme: str = "nic",
+) -> SpanningTree:
+    """Build a multicast tree with ID-sorted destinations.
+
+    Parameters
+    ----------
+    shape:
+        ``"optimal"`` (postal-model, needs *cost* and *size*),
+        ``"binomial"``, ``"flat"``, or ``"chain"``.
+    cost, size, scheme:
+        For the optimal shape: the cost model, the message size whose
+        postal parameters shape the tree, and which forwarding scheme's
+        parameters to use.
+    """
+    dests = sorted(set(destinations) - {root})
+    if shape == "optimal":
+        if cost is None:
+            raise TreeError("optimal tree requires a cost model")
+        params = postal_params(cost, size, scheme=scheme)
+        tree = optimal_postal_tree(root, dests, params)
+    elif shape == "binomial":
+        tree = binomial_tree(root, dests)
+    elif shape == "flat":
+        tree = flat_tree(root, dests)
+    elif shape == "chain":
+        tree = chain_tree(root, dests)
+    else:
+        raise TreeError(f"unknown tree shape {shape!r}")
+    check_deadlock_ordering(tree)
+    return tree

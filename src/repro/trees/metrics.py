@@ -1,0 +1,35 @@
+"""Tree shape statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trees.base import SpanningTree
+
+__all__ = ["TreeStats", "tree_stats"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Shape summary of a multicast tree."""
+
+    size: int
+    depth: int
+    root_fanout: int
+    max_fanout: int
+    mean_fanout: float  # over sending (non-leaf) nodes
+    n_leaves: int
+    n_forwarders: int  # interior nodes (non-root senders)
+
+
+def tree_stats(tree: SpanningTree) -> TreeStats:
+    fanouts = [len(kids) for kids in tree.children.values() if kids]
+    return TreeStats(
+        size=tree.size,
+        depth=tree.max_depth,
+        root_fanout=len(tree.children_of(tree.root)),
+        max_fanout=max(fanouts, default=0),
+        mean_fanout=(sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        n_leaves=len(tree.leaves()),
+        n_forwarders=len(tree.interior()),
+    )

@@ -1,0 +1,187 @@
+"""Latency-optimal trees in the postal model (Bar-Noy & Kipnis).
+
+The paper (§5, "The Spanning Tree"): *"The basic idea of constructing an
+optimal tree is to have the maximum number of nodes involved in sending
+at any time ... a node will send to as many destinations as possible
+before the first destination it sent to becomes ready to send out data to
+its own children.  We compute the number of destinations a sender can
+send to before its first receiver can start sending as the ratio of (a)
+the total amount of time for a node to send a message until the receiver
+receives it, and (b) the average time for the sender to send a message to
+one additional destination."*
+
+We implement the postal model with three parameters:
+
+* ``gap``      — (b): sender-side time per additional destination;
+* ``l_ready``  — (a) for *readiness*: send start → receiver can begin
+  sending to its own children (with NIC-based per-packet forwarding this
+  is reached after the **first packet**, which is why large pipelined
+  messages get chain-shaped trees);
+* ``l_full``   — send start → receiver holds the complete message
+  (used to evaluate completion time).
+
+Construction is the greedy earliest-ready-sender schedule: repeatedly let
+the sender that is ready soonest adopt the next destination.  For the
+classical postal model (``l_ready == l_full``) this greedy is optimal
+(Bar-Noy & Kipnis 1992); a brute-force check over all trees for small n
+is part of the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import count
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import TreeError
+from repro.net.packet import GM_HEADER_BYTES, split_message
+from repro.trees.base import SpanningTree
+from repro.trees.shapes import _check_members
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gm.params import GMCostModel
+
+__all__ = [
+    "PostalParams",
+    "postal_params",
+    "optimal_postal_tree",
+    "postal_completion_time",
+]
+
+
+@dataclass(frozen=True)
+class PostalParams:
+    """Postal-model timing parameters (µs)."""
+
+    l_ready: float
+    l_full: float
+    gap: float
+
+    def __post_init__(self) -> None:
+        if self.gap <= 0:
+            raise TreeError(f"gap must be positive, got {self.gap}")
+        if self.l_ready < 0 or self.l_full < self.l_ready:
+            raise TreeError(
+                f"need 0 <= l_ready <= l_full, got {self.l_ready}, {self.l_full}"
+            )
+
+    @property
+    def fanout_ratio(self) -> float:
+        """The paper's ratio (a)/(b) — destinations a sender reaches
+        before its first receiver can start sending."""
+        return self.l_ready / self.gap
+
+
+def postal_params(
+    cost: "GMCostModel", size: int, scheme: str = "nic"
+) -> PostalParams:
+    """Derive postal parameters from the cost model at a message size.
+
+    ``scheme="nic"`` models the NIC-based multisend + forwarding path;
+    ``scheme="host"`` models host-based store-and-forward (used for the
+    tree-shape ablation — MPICH itself always uses a binomial tree).
+    """
+    chunks = split_message(size, cost.mtu)
+    nchunks = len(chunks)
+    ser_total = sum(cost.wire_time(c + GM_HEADER_BYTES) for c in chunks)
+    ser_first = cost.wire_time(chunks[0] + GM_HEADER_BYTES)
+    # Two links + one switch on the common single-crossbar fabric.
+    route_latency = 2 * cost.link_latency + cost.switch_hop_latency
+
+    if scheme == "nic":
+        # (b): one more replica occupies the sender's wire for the whole
+        # message (chunk replicas interleave, but wire occupancy is what
+        # delays every child's completion) plus per-packet rewrites.
+        gap = ser_total + nchunks * cost.nic_header_rewrite
+        # Readiness: first packet arrives, is staged through NIC SRAM,
+        # and can be forwarded.
+        forward_cost = (
+            cost.nic_forward_processing
+            + chunks[0] / cost.nic_sram_copy_bandwidth
+        )
+        l_ready = (
+            ser_first
+            + route_latency
+            + cost.nic_recv_processing
+            + cost.nic_group_lookup
+            + forward_cost
+            + cost.nic_header_rewrite
+        )
+        # Full delivery: the whole message has streamed across.
+        l_full = max(
+            ser_total + route_latency + cost.nic_recv_processing, l_ready
+        )
+        return PostalParams(l_ready=min(l_ready, l_full), l_full=l_full, gap=gap)
+
+    if scheme == "host":
+        dma_total = sum(cost.dma_time(c + GM_HEADER_BYTES) for c in chunks)
+        gap = (
+            cost.host_send_post
+            + cost.nic_send_token_processing
+            + ser_total
+        )
+        # Store-and-forward: the host must receive the *whole* message,
+        # take the event, and post new sends before children see data.
+        l_full = (
+            ser_total
+            + route_latency
+            + cost.nic_recv_processing
+            + dma_total
+            + cost.nic_event_post
+            + cost.host_event_dispatch
+        )
+        l_ready = l_full + cost.host_send_post
+        return PostalParams(
+            l_ready=min(l_ready, l_full), l_full=l_full, gap=gap
+        )
+
+    raise TreeError(f"unknown postal scheme {scheme!r}")
+
+
+def optimal_postal_tree(
+    root: int, destinations: Sequence[int], params: PostalParams
+) -> SpanningTree:
+    """Greedy earliest-ready-sender construction.
+
+    Destinations are adopted in the order given (callers pass them sorted
+    by network ID, which makes every non-root parent's ID smaller than
+    its children's — the paper's deadlock-avoidance rule, established
+    here by construction because parents are always adopted earlier).
+    """
+    dests = _check_members(root, destinations)
+    children: dict[int, list[int]] = {root: []}
+    seq = count()
+    # (ready_time, tiebreak, node); the tiebreak keeps determinism and
+    # prefers earlier-adopted senders, matching the paper's preference
+    # for filling existing senders before deepening.
+    heap: list[tuple[float, int, int]] = [(0.0, next(seq), root)]
+    for dest in dests:
+        ready_at, _tb, sender = heapq.heappop(heap)
+        children.setdefault(sender, []).append(dest)
+        children.setdefault(dest, [])
+        # The sender may adopt another destination one gap later...
+        heapq.heappush(heap, (ready_at + params.gap, next(seq), sender))
+        # ...and the new child becomes a sender once ready.
+        heapq.heappush(heap, (ready_at + params.l_ready, next(seq), dest))
+    return SpanningTree(
+        root=root,
+        children={n: tuple(c) for n, c in children.items() if c},
+    )
+
+
+def postal_completion_time(
+    tree: SpanningTree, params: PostalParams
+) -> float:
+    """Model-predicted time until every node holds the full message."""
+    ready = {tree.root: 0.0}
+    full = {tree.root: 0.0}
+    worst = 0.0
+    for node in tree.nodes:  # BFS order: parents before children
+        t = ready[node]
+        for i, child in enumerate(tree.children_of(node)):
+            send_start = t + i * params.gap
+            ready[child] = send_start + params.l_ready
+            full[child] = send_start + params.l_full
+            worst = max(worst, full[child])
+    return worst

@@ -1,0 +1,52 @@
+"""Reference tree shapes: flat, chain, k-ary."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TreeError
+from repro.trees.base import SpanningTree
+
+__all__ = ["flat_tree", "chain_tree", "kary_tree"]
+
+
+def _check_members(root: int, destinations: Sequence[int]) -> list[int]:
+    dests = list(destinations)
+    if root in dests:
+        raise TreeError(f"root {root} listed among destinations")
+    if len(set(dests)) != len(dests):
+        raise TreeError("duplicate destinations")
+    return dests
+
+
+def flat_tree(root: int, destinations: Sequence[int]) -> SpanningTree:
+    """Root sends directly to every destination (the multisend shape)."""
+    dests = _check_members(root, destinations)
+    return SpanningTree(root=root, children={root: tuple(dests)})
+
+
+def chain_tree(root: int, destinations: Sequence[int]) -> SpanningTree:
+    """A linear pipeline — optimal for very large pipelined messages."""
+    dests = _check_members(root, destinations)
+    order = [root] + dests
+    children = {a: (b,) for a, b in zip(order, order[1:])}
+    return SpanningTree(root=root, children=children)
+
+
+def kary_tree(root: int, destinations: Sequence[int], k: int) -> SpanningTree:
+    """A balanced k-ary tree filled in BFS order."""
+    if k < 1:
+        raise TreeError(f"k must be >= 1, got {k}")
+    dests = _check_members(root, destinations)
+    children: dict[int, list[int]] = {}
+    queue = [root]
+    i = 0
+    while i < len(dests):
+        parent = queue.pop(0)
+        kids = dests[i : i + k]
+        children[parent] = kids
+        queue.extend(kids)
+        i += k
+    return SpanningTree(
+        root=root, children={n: tuple(c) for n, c in children.items()}
+    )

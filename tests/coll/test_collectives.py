@@ -1,0 +1,279 @@
+"""Tests for the NIC-based collective extensions (barrier, allreduce)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ReproError
+from repro.mcast.manager import install_group, next_group_id
+from repro.net import BernoulliLoss, PacketType, ScriptedLoss
+from repro.trees import build_tree
+
+
+def make_cluster(n=8, loss=None, seed=0, **cfg):
+    return Cluster(ClusterConfig(n_nodes=n, seed=seed, **cfg), loss=loss)
+
+
+def install_coll_group(cluster, shape="binomial"):
+    gid = next_group_id()
+    tree = build_tree(
+        0, range(1, cluster.n_nodes), shape=shape,
+        cost=cluster.cost, size=64,
+    )
+    install_group(cluster, gid, tree)
+    return gid
+
+
+def run_allreduce(cluster, gid, values, op="sum", rounds=1):
+    """values: dict node -> list of per-round contributions."""
+    results = {i: [] for i in range(cluster.n_nodes)}
+
+    def program(i):
+        port = cluster.port(i)
+        for r in range(rounds):
+            out = yield from cluster.node(i).coll.allreduce(
+                port, gid, values[i][r], op=op
+            )
+            results[i].append(out)
+
+    procs = [
+        cluster.spawn(program(i), name=f"coll[{i}]")
+        for i in range(cluster.n_nodes)
+    ]
+    cluster.run(until=cluster.sim.all_of(procs))
+    return results
+
+
+class TestNicAllreduce:
+    def test_sum(self):
+        cluster = make_cluster(8)
+        gid = install_coll_group(cluster)
+        values = {i: [i * 10] for i in range(8)}
+        results = run_allreduce(cluster, gid, values)
+        expected = sum(i * 10 for i in range(8))
+        assert all(results[i] == [expected] for i in range(8))
+
+    @pytest.mark.parametrize("op,expected", [
+        ("min", 0), ("max", 70), ("prod", 0),
+    ])
+    def test_other_ops(self, op, expected):
+        cluster = make_cluster(8)
+        gid = install_coll_group(cluster)
+        values = {i: [i * 10] for i in range(8)}
+        results = run_allreduce(cluster, gid, values, op=op)
+        assert all(results[i] == [expected] for i in range(8))
+
+    def test_unknown_op_rejected(self):
+        cluster = make_cluster(2)
+        gid = install_coll_group(cluster)
+        with pytest.raises(ReproError):
+            next(cluster.node(0).coll.allreduce(cluster.port(0), gid, 1,
+                                                op="xor"))
+
+    def test_multiple_rounds_epochs_isolated(self):
+        cluster = make_cluster(6)
+        gid = install_coll_group(cluster)
+        values = {i: [i, i * 100, -i] for i in range(6)}
+        results = run_allreduce(cluster, gid, values, rounds=3)
+        sums = [sum(values[i][r] for i in range(6)) for r in range(3)]
+        assert all(results[i] == sums for i in range(6))
+
+    def test_state_cleaned_after_completion(self):
+        cluster = make_cluster(6)
+        gid = install_coll_group(cluster)
+        run_allreduce(cluster, gid, {i: [1] for i in range(6)})
+        cluster.run()
+        for node in cluster.nodes:
+            coll_state = node.coll._state.get(gid)
+            if coll_state is not None:
+                assert coll_state.epochs == {}
+
+    def test_chain_tree(self):
+        cluster = make_cluster(5)
+        gid = install_coll_group(cluster, shape="chain")
+        results = run_allreduce(cluster, gid, {i: [2**i] for i in range(5)})
+        assert all(results[i] == [31] for i in range(5))
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n=st.integers(min_value=2, max_value=9),
+        vals=st.lists(st.integers(min_value=-100, max_value=100),
+                      min_size=9, max_size=9),
+        shape=st.sampled_from(["binomial", "chain", "flat", "optimal"]),
+    )
+    def test_property_sum_correct(self, n, vals, shape):
+        cluster = make_cluster(n)
+        gid = install_coll_group(cluster, shape=shape)
+        values = {i: [vals[i]] for i in range(n)}
+        results = run_allreduce(cluster, gid, values)
+        expected = sum(vals[:n])
+        assert all(results[i] == [expected] for i in range(n))
+
+
+class TestNicBarrier:
+    def test_barrier_waits_for_slowest(self):
+        cluster = make_cluster(6)
+        gid = install_coll_group(cluster)
+        exits = {}
+
+        def program(i):
+            yield from cluster.node(i).host.compute(i * 50.0)
+            yield from cluster.node(i).coll.barrier(cluster.port(i), gid)
+            exits[i] = cluster.now
+
+        procs = [cluster.spawn(program(i)) for i in range(6)]
+        cluster.run(until=cluster.sim.all_of(procs))
+        assert min(exits.values()) >= 250.0
+        assert max(exits.values()) - min(exits.values()) < 40.0
+
+    def test_repeated_barriers(self):
+        cluster = make_cluster(4)
+        gid = install_coll_group(cluster)
+        counts = []
+
+        def program(i):
+            for _ in range(4):
+                yield from cluster.node(i).coll.barrier(cluster.port(i), gid)
+            counts.append(i)
+
+        procs = [cluster.spawn(program(i)) for i in range(4)]
+        cluster.run(until=cluster.sim.all_of(procs))
+        assert len(counts) == 4
+
+    def test_nic_barrier_faster_than_dissemination(self):
+        # log(n) host round trips vs one NIC tree sweep.
+        from repro.mpi import Communicator
+
+        def barrier_time(nic):
+            cluster = make_cluster(16)
+            comm = Communicator(cluster)
+            times = {}
+
+            def program(ctx):
+                # group-creation warmup for the NIC path
+                yield from ctx.barrier(nic=nic)
+                t0 = ctx.sim.now
+                yield from ctx.barrier(nic=nic)
+                times[ctx.rank] = ctx.sim.now - t0
+
+            comm.run(program)
+            return max(times.values())
+
+        t_host = barrier_time(False)
+        t_nic = barrier_time(True)
+        assert t_nic < t_host
+
+
+class TestReliability:
+    def test_lost_up_recovered(self):
+        loss = ScriptedLoss(
+            lambda p: p.header.ptype is PacketType.CONTROL
+            and p.header.info.get("coll") == "up"
+        )
+        cluster = make_cluster(6, loss=loss)
+        gid = install_coll_group(cluster)
+        results = run_allreduce(cluster, gid, {i: [i] for i in range(6)})
+        assert all(results[i] == [15] for i in range(6))
+        assert any(n.coll.up_resends for n in cluster.nodes)
+
+    def test_lost_down_recovered(self):
+        loss = ScriptedLoss(
+            lambda p: p.header.ptype is PacketType.CONTROL
+            and p.header.info.get("coll") == "down"
+        )
+        cluster = make_cluster(6, loss=loss)
+        gid = install_coll_group(cluster)
+        results = run_allreduce(cluster, gid, {i: [i] for i in range(6)})
+        assert all(results[i] == [15] for i in range(6))
+        # Recovery path: either the root's DOWN timer fires, or the
+        # stranded child's UP resend provokes a fresh DOWN — both count.
+        assert any(
+            n.coll.down_resends or n.coll.up_resends for n in cluster.nodes
+        )
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        rate=st.floats(min_value=0.0, max_value=0.2),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_property_allreduce_under_loss(self, rate, seed):
+        cluster = make_cluster(5, loss=BernoulliLoss(rate), seed=seed)
+        gid = install_coll_group(cluster)
+        values = {i: [i + 1, (i + 1) * 3] for i in range(5)}
+        results = run_allreduce(cluster, gid, values, rounds=2)
+        assert all(results[i] == [15, 45] for i in range(5))
+
+
+class TestMPIIntegration:
+    def test_mpi_allreduce_both_paths(self):
+        from repro.mpi import Communicator
+
+        for nic in (False, True):
+            cluster = make_cluster(8)
+            comm = Communicator(cluster)
+            results = {}
+
+            def program(ctx):
+                out = yield from ctx.allreduce(ctx.rank + 1, op="sum",
+                                               nic=nic)
+                results[ctx.rank] = out
+
+            comm.run(program)
+            assert all(results[r] == 36 for r in range(8)), nic
+
+    def test_mpi_allreduce_min(self):
+        from repro.mpi import Communicator
+
+        cluster = make_cluster(5)
+        comm = Communicator(cluster)
+        results = {}
+
+        def program(ctx):
+            out = yield from ctx.allreduce(10 - ctx.rank, op="min", nic=True)
+            results[ctx.rank] = out
+
+        comm.run(program)
+        assert all(v == 6 for v in results.values())
+
+    def test_rdma_bcast_large_message(self):
+        from repro.mpi import Communicator
+
+        cluster = make_cluster(8)
+        comm = Communicator(cluster, nic_bcast_rdma=True)
+        results = {}
+
+        def program(ctx):
+            value = "bulk" if ctx.rank == 0 else None
+            value = yield from ctx.bcast(root=0, size=65536, payload=value)
+            results[ctx.rank] = value
+
+        comm.run(program)
+        assert all(results[r] == "bulk" for r in range(8))
+        for node in cluster.nodes:
+            assert node.memory.registered_bytes == 0
+
+    def test_rdma_bcast_beats_host_rendezvous_bcast(self):
+        from repro.mpi import Communicator
+
+        def bcast_time(rdma):
+            cluster = make_cluster(16)
+            comm = Communicator(cluster, nic_bcast_rdma=rdma)
+            times = {}
+
+            def program(ctx):
+                yield from ctx.bcast(root=0, size=65536)  # warmup/group
+                yield from ctx.barrier()
+                t0 = ctx.sim.now
+                yield from ctx.bcast(root=0, size=65536)
+                times[ctx.rank] = ctx.sim.now - t0
+
+            comm.run(program)
+            return max(times.values())
+
+        t_host = bcast_time(False)
+        t_rdma = bcast_time(True)
+        assert t_rdma < t_host

@@ -1,0 +1,60 @@
+"""Unit tests for the experiment result containers and rendering."""
+
+import pytest
+
+from repro.experiments.report import FigureResult, Series, render_table
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        s = Series("lat")
+        s.add(1, 10.0)
+        s.add(4, 20.0)
+        assert s.xs() == [1, 4]
+        assert s.ys() == [10.0, 20.0]
+        assert s.y_at(4) == 20.0
+
+    def test_missing_x_raises(self):
+        s = Series("lat")
+        with pytest.raises(KeyError):
+            s.y_at(7)
+
+
+class TestFigureResult:
+    def make(self):
+        result = FigureResult(figure_id="figX", title="demo")
+        a, b = Series("A"), Series("B")
+        for x in (1, 2):
+            a.add(x, x * 1.0)
+            b.add(x, x * 2.0)
+        b.add(3, 6.0)  # ragged
+        result.series = [a, b]
+        result.headlines["peak"] = 6.0
+        result.notes.append("a note")
+        return result
+
+    def test_get_series(self):
+        result = self.make()
+        assert result.get("A").label == "A"
+        with pytest.raises(KeyError):
+            result.get("missing")
+
+    def test_table_handles_ragged_series(self):
+        table = self.make().table()
+        assert "-" in table  # the missing A@3 cell
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + three x rows
+
+    def test_render_includes_everything(self):
+        text = self.make().render()
+        assert "figX" in text
+        assert "peak: 6.00" in text
+        assert "note: a note" in text
+
+
+def test_render_table_alignment():
+    out = render_table(["col", "x"], [["a", "1"], ["bbbb", "22"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    # every row has the same width
+    assert len({len(l) for l in lines}) == 1

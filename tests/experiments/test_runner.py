@@ -1,0 +1,96 @@
+"""Tests for the measurement harness."""
+
+import pytest
+
+from repro.experiments.runner import (
+    MPI_SIZES,
+    PAPER_SIZES,
+    measure_gm_multicast,
+    measure_mpi_bcast,
+    measure_multisend,
+    measure_unicast,
+)
+from repro.gm.params import GMCostModel
+
+
+def test_paper_size_lists():
+    assert PAPER_SIZES[-1] == 16384
+    assert MPI_SIZES[-1] == 16287
+    assert PAPER_SIZES == sorted(PAPER_SIZES)
+
+
+def test_measure_unicast_in_calibrated_regime():
+    latency = measure_unicast(size=4, iterations=5)
+    assert 5.0 < latency < 11.0
+
+
+def test_measure_unicast_deterministic():
+    assert measure_unicast(size=64, iterations=5) == measure_unicast(
+        size=64, iterations=5
+    )
+
+
+def test_measure_multisend_schemes_differ():
+    hb = measure_multisend(4, 16, "hb", iterations=5, warmup=2)
+    nb = measure_multisend(4, 16, "nb", iterations=5, warmup=2)
+    assert nb < hb
+
+
+def test_measure_multisend_unknown_scheme():
+    with pytest.raises(ValueError):
+        measure_multisend(4, 16, "quantum", iterations=1)
+
+
+def test_measure_multisend_iterations_stable():
+    # Deterministic loss-free runs: more iterations same mean (~periodic).
+    a = measure_multisend(3, 128, "nb", iterations=5, warmup=2)
+    b = measure_multisend(3, 128, "nb", iterations=15, warmup=2)
+    assert a == pytest.approx(b, rel=0.02)
+
+
+def test_measure_gm_multicast_structure():
+    m = measure_gm_multicast(6, 256, "nb", iterations=5, warmup=2)
+    assert set(m.per_dest_delivery) == {1, 2, 3, 4, 5}
+    assert m.ack_trip > 0
+    assert m.latency == pytest.approx(
+        max(m.per_dest_delivery.values()) + m.ack_trip
+    )
+
+
+def test_measure_gm_multicast_all_schemes():
+    values = {
+        scheme: measure_gm_multicast(
+            6, 256, scheme, iterations=4, warmup=2
+        ).latency
+        for scheme in ("nb", "hb", "nic_assisted")
+    }
+    assert values["nb"] < values["hb"]
+    assert values["nb"] < values["nic_assisted"]
+
+
+def test_measure_gm_multicast_tree_shape_override():
+    chain = measure_gm_multicast(
+        6, 64, "nb", iterations=4, warmup=2, tree_shape="chain"
+    )
+    flat = measure_gm_multicast(
+        6, 64, "nb", iterations=4, warmup=2, tree_shape="flat"
+    )
+    assert flat.latency < chain.latency  # small message: wide wins
+
+
+def test_measure_gm_multicast_unknown_scheme():
+    with pytest.raises(ValueError):
+        measure_gm_multicast(4, 16, "bogus", iterations=1)
+
+
+def test_measure_mpi_bcast_nic_faster():
+    hb = measure_mpi_bcast(6, 512, nic=False, iterations=4, warmup=2)
+    nb = measure_mpi_bcast(6, 512, nic=True, iterations=4, warmup=2)
+    assert nb < hb
+
+
+def test_cost_override_applies():
+    slow = GMCostModel(wire_bandwidth=20.0)
+    fast = measure_unicast(size=4096, iterations=3)
+    slowed = measure_unicast(cost=slow, size=4096, iterations=3)
+    assert slowed > 3 * fast

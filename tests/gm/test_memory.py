@@ -1,0 +1,90 @@
+"""Unit tests for registered-memory accounting."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.gm.memory import RegisteredMemory
+
+
+def test_register_and_deregister():
+    mem = RegisteredMemory(owner=0)
+    region = mem.register(4096)
+    assert mem.registered_bytes == 4096
+    mem.deregister(region)
+    assert mem.registered_bytes == 0
+    assert not region.registered
+
+
+def test_negative_size_rejected():
+    with pytest.raises(RegistrationError):
+        RegisteredMemory(0).register(-1)
+
+
+def test_pinned_region_cannot_deregister():
+    # The paper's rule: the host replica stays registered until every
+    # child acknowledges.
+    mem = RegisteredMemory(0)
+    region = mem.register(1024)
+    region.pin()
+    with pytest.raises(RegistrationError, match="pinned"):
+        mem.deregister(region)
+    region.unpin()
+    mem.deregister(region)
+
+
+def test_pin_after_deregister_rejected():
+    mem = RegisteredMemory(0)
+    region = mem.register(8)
+    mem.deregister(region)
+    with pytest.raises(RegistrationError):
+        region.pin()
+
+
+def test_unpin_underflow_rejected():
+    mem = RegisteredMemory(0)
+    region = mem.register(8)
+    with pytest.raises(RegistrationError):
+        region.unpin()
+
+
+def test_double_deregister_rejected():
+    mem = RegisteredMemory(0)
+    region = mem.register(8)
+    mem.deregister(region)
+    with pytest.raises(RegistrationError):
+        mem.deregister(region)
+
+
+def test_registration_limit():
+    mem = RegisteredMemory(0, limit_bytes=100)
+    mem.register(60)
+    with pytest.raises(RegistrationError, match="limit"):
+        mem.register(50)
+
+
+def test_require_checks_ownership():
+    mem0, mem1 = RegisteredMemory(0), RegisteredMemory(1)
+    region = mem0.register(64)
+    mem0.require(region)
+    with pytest.raises(RegistrationError):
+        mem1.require(region)
+
+
+def test_require_rejects_deregistered():
+    mem = RegisteredMemory(0)
+    region = mem.register(64)
+    mem.deregister(region)
+    with pytest.raises(RegistrationError):
+        mem.require(region)
+
+
+def test_multiple_pins():
+    mem = RegisteredMemory(0)
+    region = mem.register(16)
+    region.pin()
+    region.pin()
+    region.unpin()
+    with pytest.raises(RegistrationError):
+        mem.deregister(region)
+    region.unpin()
+    mem.deregister(region)

@@ -1,0 +1,122 @@
+"""Multiple processes per node: port isolation and concurrency.
+
+GM's protection model lets several user processes share one NIC through
+separate ports ("concurrent memory-protected OS-bypass access to the NIC
+by several user-level applications", paper §2/§4).
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ProtectionError, ReproError
+from repro.gm.tokens import ReceiveToken
+
+
+def open_extra_port(cluster, node_id, port_num, owner=None):
+    port = cluster.node(node_id).open_port(port_num, owner=owner or object())
+    for _ in range(16):
+        port._recv_tokens.append(ReceiveToken(port_num))
+    return port
+
+
+def test_duplicate_port_number_rejected():
+    cluster = Cluster(ClusterConfig(n_nodes=1))
+    with pytest.raises(ReproError):
+        cluster.node(0).open_port(0)  # port 0 opened by the cluster
+
+
+def test_two_ports_independent_streams():
+    cluster = Cluster(ClusterConfig(n_nodes=2))
+    owner_a, owner_b = object(), object()
+    a0 = open_extra_port(cluster, 0, 1, owner_a)
+    b0 = open_extra_port(cluster, 0, 2, owner_b)
+    a1 = open_extra_port(cluster, 1, 1, owner_a)
+    b1 = open_extra_port(cluster, 1, 2, owner_b)
+    got = {"a": [], "b": []}
+
+    def app_a_sender():
+        for k in range(5):
+            yield from a0.send(1, 100 + k, dst_port=1, caller=owner_a)
+
+    def app_b_sender():
+        for k in range(5):
+            yield from b0.send(1, 200 + k, dst_port=2, caller=owner_b)
+
+    def app_a_receiver():
+        for _ in range(5):
+            completion = yield from a1.receive(caller=owner_a)
+            got["a"].append(completion.size)
+
+    def app_b_receiver():
+        for _ in range(5):
+            completion = yield from b1.receive(caller=owner_b)
+            got["b"].append(completion.size)
+
+    procs = [
+        cluster.spawn(g())
+        for g in (app_a_sender, app_b_sender, app_a_receiver, app_b_receiver)
+    ]
+    cluster.run(until=cluster.sim.all_of(procs))
+    # Per-port FIFO streams, never cross-delivered.
+    assert got["a"] == [100, 101, 102, 103, 104]
+    assert got["b"] == [200, 201, 202, 203, 204]
+
+
+def test_port_to_missing_port_dropped_then_recovered():
+    # Sending to a port that opens later: packets drop (no port), the
+    # sender's timeout recovers once the port exists with buffers.
+    from repro.gm.params import GMCostModel
+
+    cost = GMCostModel(ack_timeout=100.0)
+    cluster = Cluster(ClusterConfig(n_nodes=2, cost=cost))
+    owner = object()
+    sender_port = open_extra_port(cluster, 0, 3, owner)
+    got = []
+
+    def sender():
+        handle = yield from sender_port.send(1, 64, dst_port=3, caller=owner)
+        yield handle.done
+
+    def late_opener():
+        yield cluster.sim.timeout(150.0)
+        rx = open_extra_port(cluster, 1, 3, owner)
+        completion = yield from rx.receive(caller=owner)
+        got.append(completion.size)
+
+    procs = [cluster.spawn(sender()), cluster.spawn(late_opener())]
+    cluster.run(until=cluster.sim.all_of(procs))
+    assert got == [64]
+    assert cluster.node(0).gm.retransmissions >= 1
+
+
+def test_token_pools_are_per_port():
+    from repro.gm.params import GMCostModel
+
+    cost = GMCostModel(send_tokens_per_port=2)
+    cluster = Cluster(ClusterConfig(n_nodes=2, cost=cost))
+    owner = object()
+    extra = cluster.node(0).open_port(5, owner=owner)
+    # Exhaust port 0's tokens; port 5 is unaffected.
+    default_port = cluster.port(0)
+
+    def prog():
+        yield from default_port.send(1, 8)
+        yield from default_port.send(1, 8)
+        assert default_port.free_send_tokens == 0
+        assert extra.free_send_tokens == 2
+
+    def rx():
+        for _ in range(2):
+            yield from cluster.port(1).receive()
+
+    procs = [cluster.spawn(prog()), cluster.spawn(rx())]
+    cluster.run(until=cluster.sim.all_of(procs))
+
+
+def test_foreign_process_cannot_drain_events():
+    cluster = Cluster(ClusterConfig(n_nodes=2))
+    owner = object()
+    port = open_extra_port(cluster, 1, 7, owner)
+    with pytest.raises(ProtectionError):
+        port.try_receive(caller=object())

@@ -1,0 +1,91 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gm.params import GMCostModel
+
+
+def test_default_is_lanai9():
+    assert GMCostModel() == GMCostModel.lanai9()
+
+
+def test_frozen():
+    cost = GMCostModel()
+    with pytest.raises(AttributeError):
+        cost.mtu = 100  # type: ignore[misc]
+
+
+def test_with_overrides():
+    cost = GMCostModel().with_overrides(mtu=1024)
+    assert cost.mtu == 1024
+    assert cost.wire_bandwidth == GMCostModel().wire_bandwidth
+
+
+def test_wire_time():
+    cost = GMCostModel()
+    nbytes = int(cost.wire_bandwidth)
+    assert cost.wire_time(nbytes) == pytest.approx(1.0)
+
+
+def test_dma_time_has_startup():
+    cost = GMCostModel()
+    assert cost.dma_time(0) == pytest.approx(cost.dma_startup)
+    nbytes = int(cost.pci_bandwidth)
+    assert cost.dma_time(nbytes) == pytest.approx(
+        cost.dma_startup + nbytes / cost.pci_bandwidth
+    )
+
+
+def test_memcpy_time():
+    cost = GMCostModel()
+    assert cost.memcpy_time(700) == pytest.approx(cost.host_memcpy_startup + 1.0)
+
+
+def test_validation_rejects_bad_bandwidth():
+    with pytest.raises(ConfigError):
+        GMCostModel(wire_bandwidth=0)
+
+
+def test_validation_rejects_bad_mtu():
+    with pytest.raises(ConfigError):
+        GMCostModel(mtu=0)
+
+
+def test_validation_rejects_bad_timeout():
+    with pytest.raises(ConfigError):
+        GMCostModel(ack_timeout=0)
+
+
+def test_fast_host_preset_is_faster():
+    fast = GMCostModel.fast_host()
+    base = GMCostModel.lanai9()
+    assert fast.host_send_post < base.host_send_post
+    assert fast.host_memcpy_bandwidth > base.host_memcpy_bandwidth
+
+
+def test_slow_nic_preset_is_slower():
+    slow = GMCostModel.slow_nic()
+    base = GMCostModel.lanai9()
+    assert slow.nic_send_token_processing > base.nic_send_token_processing
+
+
+def test_multisend_premise_holds():
+    # The paper's multisend win requires per-request token processing to
+    # dwarf the per-replica header rewrite on the LANai.
+    cost = GMCostModel.lanai9()
+    assert cost.nic_send_token_processing >= 3 * cost.nic_header_rewrite
+
+
+def test_large_message_premise_holds():
+    # Fig. 3b requires the wire, not PCI, to bottleneck large messages so
+    # host-based unicasts catch up at 16 KB.
+    cost = GMCostModel.lanai9()
+    assert cost.pci_bandwidth > cost.wire_bandwidth
+
+
+def test_paper_constants():
+    cost = GMCostModel.lanai9()
+    assert cost.mtu == 4096
+    assert cost.mpi_eager_max == 16287
+    assert cost.host_send_post < 1.0  # "host overhead over GM is < 1us"

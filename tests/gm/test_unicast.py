@@ -1,0 +1,262 @@
+"""Integration tests: GM unicast over the full simulated stack."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ProtectionError, TokenExhausted
+from repro.gm.params import GMCostModel
+
+
+def make_cluster(n=4, **cfg):
+    return Cluster(ClusterConfig(n_nodes=n, **cfg))
+
+
+def send_and_wait(cluster, src, dst, size):
+    """Run one send to completion; return (send_done_t, recv_t)."""
+    result = {}
+
+    def sender(node):
+        port = cluster.port(src)
+        handle = yield from port.send(dst, size)
+        yield handle.done
+        result["send_done"] = cluster.now
+
+    def receiver(node):
+        port = cluster.port(dst)
+        completion = yield from port.receive()
+        result["recv"] = cluster.now
+        result["completion"] = completion
+
+    s = cluster.spawn(sender(cluster.node(src)))
+    r = cluster.spawn(receiver(cluster.node(dst)))
+    cluster.run(until=s & r)
+    return result
+
+
+class TestBasicDelivery:
+    def test_small_message_delivered(self):
+        result = send_and_wait(make_cluster(), 0, 1, 64)
+        assert result["completion"].src == 0
+        assert result["completion"].size == 64
+
+    def test_zero_byte_message(self):
+        result = send_and_wait(make_cluster(), 0, 1, 0)
+        assert result["completion"].size == 0
+
+    def test_multi_packet_message(self):
+        result = send_and_wait(make_cluster(), 0, 1, 16384)
+        assert result["completion"].size == 16384
+
+    def test_small_latency_in_calibrated_regime(self):
+        # GM small-message one-way latency on the paper's hardware was
+        # ~7us; require the simulated stack to land in the same regime.
+        result = send_and_wait(make_cluster(), 0, 1, 4)
+        assert 4.0 < result["recv"] < 12.0
+
+    def test_send_completion_after_receive_starts(self):
+        # The ack comes back after delivery, so the sender completes
+        # after the receiver got the data (minus host dispatch jitter).
+        result = send_and_wait(make_cluster(), 0, 1, 1024)
+        assert result["send_done"] > 0
+
+    def test_bandwidth_dominates_large_messages(self):
+        r_small = send_and_wait(make_cluster(), 0, 1, 4096)
+        r_large = send_and_wait(make_cluster(), 0, 1, 65536)
+        # 64 KB is 16 packets; time ratio should be roughly linear in
+        # size for the streaming part.
+        assert r_large["recv"] > 3 * r_small["recv"]
+
+    def test_distinct_pairs_in_parallel(self):
+        cluster = make_cluster(6)
+        times = {}
+
+        def sender(i, j):
+            port = cluster.port(i)
+            handle = yield from port.send(j, 1024)
+            yield handle.done
+
+        def receiver(j):
+            port = cluster.port(j)
+            yield from port.receive()
+            times[j] = cluster.now
+
+        procs = []
+        for i, j in [(0, 1), (2, 3), (4, 5)]:
+            procs.append(cluster.spawn(sender(i, j)))
+            procs.append(cluster.spawn(receiver(j)))
+        cluster.run(until=cluster.sim.all_of(procs))
+        spread = max(times.values()) - min(times.values())
+        assert spread < 0.5  # effectively simultaneous
+
+
+class TestOrderingSemantics:
+    def test_messages_from_one_sender_arrive_in_order(self):
+        cluster = make_cluster()
+        received = []
+
+        def sender():
+            port = cluster.port(0)
+            for k in range(10):
+                handle = yield from port.send(1, 64 + k)
+                del handle  # fire-and-forget; ordering is the NIC's job
+
+        def receiver():
+            port = cluster.port(1)
+            for _ in range(10):
+                completion = yield from port.receive()
+                received.append(completion.size)
+
+        s = cluster.spawn(sender())
+        r = cluster.spawn(receiver())
+        cluster.run(until=s & r)
+        assert received == [64 + k for k in range(10)]
+
+    def test_interleaved_sizes_in_order(self):
+        cluster = make_cluster()
+        received = []
+
+        def sender():
+            port = cluster.port(0)
+            for size in [10000, 4, 8192, 1]:
+                yield from port.send(1, size)
+
+        def receiver():
+            port = cluster.port(1)
+            for _ in range(4):
+                completion = yield from port.receive()
+                received.append(completion.size)
+
+        s = cluster.spawn(sender())
+        r = cluster.spawn(receiver())
+        cluster.run(until=s & r)
+        assert received == [10000, 4, 8192, 1]
+
+
+class TestTokens:
+    def test_send_token_exhaustion_raises(self):
+        cost = GMCostModel(send_tokens_per_port=2)
+        cluster = Cluster(ClusterConfig(n_nodes=2, cost=cost))
+        errors = []
+
+        def sender():
+            port = cluster.port(0)
+            try:
+                for _ in range(3):
+                    yield from port.send(1, 8)
+            except TokenExhausted as exc:
+                errors.append(exc)
+
+        cluster.spawn(sender())
+        cluster.run()
+        assert len(errors) == 1
+
+    def test_tokens_recycle_after_completion(self):
+        cost = GMCostModel(send_tokens_per_port=1)
+        cluster = Cluster(ClusterConfig(n_nodes=2, cost=cost))
+        sizes = []
+
+        def sender():
+            port = cluster.port(0)
+            for k in range(5):
+                handle = yield from port.send(1, 100 + k)
+                yield handle.done  # wait, freeing the single token
+
+        def receiver():
+            port = cluster.port(1)
+            for _ in range(5):
+                completion = yield from port.receive()
+                sizes.append(completion.size)
+
+        s = cluster.spawn(sender())
+        r = cluster.spawn(receiver())
+        cluster.run(until=s & r)
+        assert sizes == [100, 101, 102, 103, 104]
+
+    def test_no_recv_token_recovers_via_retransmit(self):
+        cluster = Cluster(
+            ClusterConfig(n_nodes=2, prepost_recv_tokens=0)
+        )
+        got = []
+
+        def sender():
+            port = cluster.port(0)
+            handle = yield from port.send(1, 32)
+            yield handle.done
+
+        def receiver():
+            port = cluster.port(1)
+            # Post the buffer only after the first attempt was dropped.
+            yield cluster.sim.timeout(cluster.cost.ack_timeout / 2)
+            yield from port.provide_receive_buffer()
+            completion = yield from port.receive()
+            got.append(completion.size)
+
+        s = cluster.spawn(sender())
+        r = cluster.spawn(receiver())
+        cluster.run(until=s & r)
+        assert got == [32]
+        assert cluster.node(1).gm.no_token_dropped >= 1
+        assert cluster.node(0).gm.retransmissions >= 1
+
+
+class TestProtection:
+    def test_wrong_owner_rejected_on_send(self):
+        cluster = make_cluster(2)
+        intruder = object()
+        port = cluster.port(0)
+        with pytest.raises(ProtectionError):
+            # Driving the generator far enough to hit the check.
+            gen = port.send(1, 8, caller=intruder)
+            next(gen)
+
+    def test_wrong_owner_rejected_on_receive(self):
+        cluster = make_cluster(2)
+        port = cluster.port(0)
+        with pytest.raises(ProtectionError):
+            next(port.receive(caller=object()))
+
+    def test_owner_allowed_explicitly(self):
+        cluster = make_cluster(2)
+        port = cluster.port(0)
+        owner = cluster.node(0).host
+
+        def sender():
+            yield from port.send(1, 8, caller=owner)
+
+        cluster.spawn(sender())
+        cluster.run()
+
+    def test_two_ports_on_one_nic_isolated(self):
+        cluster = make_cluster(2)
+        owner_a, owner_b = object(), object()
+        port_a = cluster.node(0).open_port(1, owner=owner_a)
+        cluster.node(0).open_port(2, owner=owner_b)
+        with pytest.raises(ProtectionError):
+            next(port_a.send(1, 8, caller=owner_b))
+
+
+class TestNonMulticastIsolation:
+    def test_unicast_latency_unaffected_by_open_groups(self):
+        # Paper §6.1: the multicast modifications have "no noticeable
+        # impact on the performance of non-multicast communications".
+        # Here: an idle second port and preposted state do not perturb
+        # unicast latency.
+        base = send_and_wait(make_cluster(), 0, 1, 1024)["recv"]
+        cluster = make_cluster()
+        cluster.node(0).open_port(3, owner=object())
+        result = {}
+
+        def sender():
+            port = cluster.port(0)
+            yield from port.send(1, 1024)
+
+        def receiver():
+            port = cluster.port(1)
+            yield from port.receive()
+            result["recv"] = cluster.now
+
+        s = cluster.spawn(sender())
+        r = cluster.spawn(receiver())
+        cluster.run(until=s & r)
+        assert result["recv"] == pytest.approx(base)

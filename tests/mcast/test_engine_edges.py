@@ -1,0 +1,139 @@
+"""Edge cases of the multicast engine and the multisend ablation."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ProtectionError, TokenExhausted
+from repro.gm.params import GMCostModel
+from repro.mcast import install_group, multicast
+from repro.mcast.group import GroupState
+from repro.mcast.manager import next_group_id, nic_based_multicast
+from repro.trees import SpanningTree, build_tree
+
+
+def test_multisend_protection_enforced():
+    cluster = Cluster(ClusterConfig(n_nodes=2))
+    tree = build_tree(0, [1], shape="flat")
+    gid = next_group_id()
+    install_group(cluster, gid, tree)
+    with pytest.raises(ProtectionError):
+        next(
+            cluster.node(0).mcast.multicast_send(
+                cluster.port(0), gid, 8, caller=object()
+            )
+        )
+
+
+def test_multisend_token_exhaustion():
+    cost = GMCostModel(send_tokens_per_port=1)
+    cluster = Cluster(ClusterConfig(n_nodes=2, cost=cost))
+    tree = build_tree(0, [1], shape="flat")
+    gid = next_group_id()
+    install_group(cluster, gid, tree)
+    errors = []
+
+    def root():
+        try:
+            yield from nic_based_multicast(cluster, gid, 8, 0)
+            yield from nic_based_multicast(cluster, gid, 8, 0)
+        except TokenExhausted as exc:
+            errors.append(exc)
+
+    def rx():
+        yield from cluster.port(1).receive()
+
+    procs = [cluster.spawn(root()), cluster.spawn(rx())]
+    cluster.run()
+    assert len(errors) == 1
+
+
+def test_multisend_into_childless_group_completes():
+    # A one-member "group": nothing to send, token returns immediately.
+    cluster = Cluster(ClusterConfig(n_nodes=2))
+    gid = next_group_id()
+    cluster.node(0).mcast.install_group_now(
+        GroupState(group_id=gid, root=0, parent=None, children=())
+    )
+    done = {}
+
+    def root():
+        handle = yield from nic_based_multicast(cluster, gid, 64, 0)
+        yield handle.done
+        done["t"] = cluster.now
+
+    cluster.run(until=cluster.spawn(root()))
+    assert done["t"] < 5.0
+    assert cluster.port(0).free_send_tokens == cluster.cost.send_tokens_per_port
+
+
+def test_multicast_to_uninstalled_group_recovers_after_install():
+    # The paper's demand-driven design implies packets can race group
+    # creation; an unknown-group packet is dropped and the parent's
+    # timeout recovers once the member installs.
+    cost = GMCostModel(ack_timeout=100.0)
+    cluster = Cluster(ClusterConfig(n_nodes=3, cost=cost))
+    tree = build_tree(0, [1, 2], shape="chain")
+    gid = next_group_id()
+    from repro.mcast.group import local_views
+
+    views = local_views(gid, tree)
+    # Install everywhere except node 2, which is late.
+    cluster.node(0).mcast.install_group_now(views[0])
+    cluster.node(1).mcast.install_group_now(views[1])
+    delivered = {}
+
+    def root():
+        handle = yield from nic_based_multicast(cluster, gid, 128, 0)
+        yield handle.done
+
+    def late_installer():
+        yield cluster.sim.timeout(250.0)
+        cluster.node(2).mcast.install_group_now(views[2])
+
+    def member(i):
+        completion = yield from cluster.port(i).receive()
+        assert completion.group == gid
+        delivered[i] = cluster.now
+
+    procs = [
+        cluster.spawn(root()),
+        cluster.spawn(late_installer()),
+        cluster.spawn(member(1)),
+        cluster.spawn(member(2)),
+    ]
+    cluster.run(until=cluster.sim.all_of(procs))
+    assert delivered[1] < 250.0
+    assert delivered[2] > 250.0  # recovered by node 1's retransmission
+    assert cluster.node(2).mcast.unknown_group_dropped >= 1
+    assert cluster.node(1).mcast.retransmissions >= 1
+
+
+class TestInlineRewriteAblation:
+    def run_multisend(self, inline, n_dest=8, size=64):
+        from repro.experiments.runner import measure_multisend
+
+        cost = GMCostModel(multisend_inline_rewrite=inline)
+        return measure_multisend(
+            n_dest, size, "nb", iterations=8, warmup=2, cost=cost
+        )
+
+    def test_inline_rewrite_is_faster(self):
+        # "The benefits of the third approach could be more" — §5.
+        with_cb = self.run_multisend(inline=False)
+        inline = self.run_multisend(inline=True)
+        assert inline < with_cb
+        # Saved ~one rewrite per replica.
+        saved = with_cb - inline
+        cost = GMCostModel()
+        assert saved == pytest.approx(
+            7 * cost.nic_header_rewrite, rel=0.6
+        )
+
+    def test_inline_rewrite_still_correct(self):
+        cost = GMCostModel(multisend_inline_rewrite=True)
+        cluster = Cluster(ClusterConfig(n_nodes=6, cost=cost))
+        tree = build_tree(0, range(1, 6), shape="optimal", cost=cost,
+                          size=512)
+        result = multicast(cluster, tree, 512)
+        assert sorted(result["delivered"]) == [1, 2, 3, 4, 5]

@@ -1,0 +1,85 @@
+"""Unit tests for group state and the group table."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.mcast.group import GroupState, GroupTable, local_views
+from repro.trees import SpanningTree
+
+
+def test_group_state_root():
+    state = GroupState(group_id=1, root=0, parent=None, children=(1, 2))
+    assert state.is_root
+    assert state.child_acked == {1: 0, 2: 0}
+
+
+def test_group_state_intermediate():
+    state = GroupState(group_id=1, root=0, parent=0, children=(3,))
+    assert not state.is_root
+
+
+def test_alloc_seq_monotonic():
+    state = GroupState(group_id=1, root=0, parent=None, children=(1,))
+    assert [state.alloc_seq() for _ in range(3)] == [1, 2, 3]
+
+
+def test_min_child_acked():
+    state = GroupState(group_id=1, root=0, parent=None, children=(1, 2))
+    state.child_acked[1] = 5
+    state.child_acked[2] = 3
+    assert state.min_child_acked() == 3
+
+
+def test_min_child_acked_leaf():
+    state = GroupState(group_id=1, root=0, parent=0, children=())
+    state.next_send_seq = 7
+    assert state.min_child_acked() == 6
+
+
+class TestGroupTable:
+    def test_install_and_get(self):
+        table = GroupTable()
+        state = GroupState(group_id=5, root=0, parent=None, children=())
+        table.install(state)
+        assert table.get(5) is state
+        assert 5 in table
+        assert len(table) == 1
+
+    def test_double_install_rejected(self):
+        table = GroupTable()
+        state = GroupState(group_id=5, root=0, parent=None, children=())
+        table.install(state)
+        with pytest.raises(GroupError):
+            table.install(state)
+
+    def test_require_unknown_raises(self):
+        with pytest.raises(GroupError):
+            GroupTable().require(99)
+
+    def test_remove(self):
+        table = GroupTable()
+        table.install(GroupState(group_id=5, root=0, parent=None, children=()))
+        table.remove(5)
+        assert 5 not in table
+        with pytest.raises(GroupError):
+            table.remove(5)
+
+
+class TestLocalViews:
+    def test_views_cover_tree(self):
+        tree = SpanningTree(root=0, children={0: (1, 2), 1: (3,)})
+        views = local_views(7, tree)
+        assert set(views) == {0, 1, 2, 3}
+        assert views[0].parent is None
+        assert views[0].children == (1, 2)
+        assert views[1].parent == 0
+        assert views[1].children == (3,)
+        assert views[3].parent == 1
+        assert views[3].children == ()
+        assert all(v.group_id == 7 for v in views.values())
+        assert all(v.root == 0 for v in views.values())
+
+    def test_port_num_propagates(self):
+        tree = SpanningTree(root=0, children={0: (1,)})
+        views = local_views(1, tree, port_num=4)
+        assert views[1].port_num == 4

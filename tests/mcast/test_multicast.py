@@ -1,0 +1,222 @@
+"""Integration tests: NIC-based multicast end to end."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+from repro.mcast import host_based_multicast, install_group, multicast
+from repro.trees import build_tree
+
+
+def make_cluster(n=8, **kw):
+    return Cluster(ClusterConfig(n_nodes=n, **kw))
+
+
+def nb_run(cluster, size, shape="optimal", root=0):
+    tree = build_tree(
+        root,
+        [i for i in range(cluster.n_nodes) if i != root],
+        shape=shape,
+        cost=cluster.cost,
+        size=size,
+    )
+    return tree, multicast(cluster, tree, size)
+
+
+class TestDelivery:
+    def test_all_destinations_receive(self):
+        cluster = make_cluster(8)
+        _tree, result = nb_run(cluster, 1024)
+        assert sorted(result["delivered"]) == list(range(1, 8))
+
+    def test_flat_tree_multisend_only(self):
+        cluster = make_cluster(5)
+        tree = build_tree(0, [1, 2, 3, 4], shape="flat")
+        result = multicast(cluster, tree, 256)
+        assert sorted(result["delivered"]) == [1, 2, 3, 4]
+
+    def test_chain_tree_forwarding(self):
+        cluster = make_cluster(5)
+        tree = build_tree(0, [1, 2, 3, 4], shape="chain")
+        result = multicast(cluster, tree, 256)
+        assert sorted(result["delivered"]) == [1, 2, 3, 4]
+        # Chain order: each node after its predecessor.
+        d = result["delivered"]
+        assert d[1] < d[2] < d[3] < d[4]
+
+    def test_multipacket_message(self):
+        cluster = make_cluster(4)
+        _tree, result = nb_run(cluster, 16384)
+        assert sorted(result["delivered"]) == [1, 2, 3]
+
+    def test_zero_byte_multicast(self):
+        cluster = make_cluster(4)
+        _tree, result = nb_run(cluster, 0)
+        assert sorted(result["delivered"]) == [1, 2, 3]
+
+    def test_send_completes_after_all_acks(self):
+        cluster = make_cluster(8)
+        _tree, result = nb_run(cluster, 512)
+        assert "send_complete" in result
+
+    def test_app_info_propagates_through_forwarding(self):
+        cluster = make_cluster(6)
+        tree = build_tree(0, range(1, 6), shape="chain")
+        result = multicast(cluster, tree, 64, info={"op": "bcast", "v": 42})
+        for node, completion in result["completions"].items():
+            assert completion.info["v"] == 42, node
+
+    def test_group_ids_isolated(self):
+        # Two groups on the same nodes do not interfere.
+        cluster = make_cluster(4)
+        t1 = build_tree(0, [1, 2, 3], shape="chain")
+        r1 = multicast(cluster, t1, 128, group_id=101)
+        t2 = build_tree(0, [1, 2, 3], shape="flat")
+        r2 = multicast(cluster, t2, 128, group_id=102)
+        assert sorted(r1["delivered"]) == sorted(r2["delivered"]) == [1, 2, 3]
+
+    def test_non_member_never_receives(self):
+        cluster = make_cluster(6)
+        tree = build_tree(0, [1, 2, 3], shape="flat")
+        multicast(cluster, tree, 128)
+        assert cluster.port(4).messages_received == 0
+        assert cluster.port(5).messages_received == 0
+
+    def test_arbitrary_root(self):
+        cluster = make_cluster(8)
+        _tree, result = nb_run(cluster, 256, root=5)
+        assert sorted(result["delivered"]) == [0, 1, 2, 3, 4, 6, 7]
+
+
+class TestHostBasedBaseline:
+    def test_all_destinations_receive(self):
+        cluster = make_cluster(8)
+        tree = build_tree(0, range(1, 8), shape="binomial")
+        result = host_based_multicast(cluster, tree, 1024)
+        assert sorted(result["delivered"]) == list(range(1, 8))
+
+    def test_multipacket(self):
+        cluster = make_cluster(8)
+        tree = build_tree(0, range(1, 8), shape="binomial")
+        result = host_based_multicast(cluster, tree, 16384)
+        assert sorted(result["delivered"]) == list(range(1, 8))
+
+    def test_info_relayed_by_hosts(self):
+        cluster = make_cluster(4)
+        tree = build_tree(0, [1, 2, 3], shape="binomial")
+        result = host_based_multicast(cluster, tree, 64, info={"x": 1})
+        assert all(
+            c.info.get("x") == 1 for c in result["completions"].values()
+        )
+
+
+class TestPaperComparisons:
+    def test_nb_beats_hb_small_messages_16_nodes(self):
+        size = 256
+        nb_cluster = make_cluster(16)
+        _t, nb = nb_run(nb_cluster, size)
+        hb_cluster = make_cluster(16)
+        tree = build_tree(0, range(1, 16), shape="binomial")
+        hb = host_based_multicast(hb_cluster, tree, size)
+        nb_lat = max(nb["delivered"].values())
+        hb_lat = max(hb["delivered"].values())
+        assert nb_lat < hb_lat
+        # Paper Fig. 5b: improvement for <=512 B around 1.2-1.6.
+        assert 1.1 < hb_lat / nb_lat < 2.2
+
+    def test_nb_beats_hb_16kb_16_nodes(self):
+        size = 16384
+        nb_cluster = make_cluster(16)
+        _t, nb = nb_run(nb_cluster, size)
+        hb_cluster = make_cluster(16)
+        tree = build_tree(0, range(1, 16), shape="binomial")
+        hb = host_based_multicast(hb_cluster, tree, size)
+        nb_lat = max(nb["delivered"].values())
+        hb_lat = max(hb["delivered"].values())
+        # Paper Fig. 5b: ~1.86 improvement at 16 KB (pipelined forwarding
+        # vs store-and-forward).
+        assert 1.3 < hb_lat / nb_lat < 2.6
+
+    def test_dip_at_single_packet_large_messages(self):
+        # Paper: 2-4 KB messages benefit least.
+        def factor(size):
+            nb_cluster = make_cluster(16)
+            _t, nb = nb_run(nb_cluster, size)
+            hb_cluster = make_cluster(16)
+            tree = build_tree(0, range(1, 16), shape="binomial")
+            hb = host_based_multicast(hb_cluster, tree, size)
+            return max(hb["delivered"].values()) / max(nb["delivered"].values())
+
+        f_small, f_4k, f_16k = factor(128), factor(4096), factor(16384)
+        assert f_4k < f_small
+        assert f_4k < f_16k
+
+
+class TestResourceDiscipline:
+    def test_no_forwarding_state_leaks(self):
+        cluster = make_cluster(8)
+        _tree, _result = nb_run(cluster, 8192)
+        cluster.run()  # drain acks and timers
+        for node in cluster.nodes:
+            assert node.mcast.pending_retransmit_state() == {}
+            for state in node.mcast.table._groups.values():
+                assert not state.held
+            assert node.memory.registered_bytes == 0
+
+    def test_sram_buffers_all_returned(self):
+        cluster = make_cluster(8)
+        _tree, _result = nb_run(cluster, 16384)
+        cluster.run()
+        for node in cluster.nodes:
+            assert node.nic.send_buffers.free == node.nic.send_buffers.size
+            assert node.nic.recv_buffers.free == node.nic.recv_buffers.size
+
+    def test_send_token_recycled_at_root(self):
+        cluster = make_cluster(8)
+        _tree, _result = nb_run(cluster, 512)
+        cluster.run()
+        port = cluster.port(0)
+        assert port.free_send_tokens == cluster.cost.send_tokens_per_port
+
+    def test_loss_free_run_no_retransmissions(self):
+        cluster = make_cluster(16)
+        _tree, _result = nb_run(cluster, 16384)
+        cluster.run()
+        assert all(n.mcast.retransmissions == 0 for n in cluster.nodes)
+
+
+class TestMultisendTiming:
+    def test_multisend_beats_host_unicasts_small(self):
+        # Fig. 3: one source, 4 destinations, no forwarding.
+        size = 64
+        n = 5
+
+        def run_nb():
+            cluster = make_cluster(n)
+            tree = build_tree(0, range(1, n), shape="flat")
+            result = multicast(cluster, tree, size)
+            return max(result["delivered"].values())
+
+        def run_hb():
+            cluster = make_cluster(n)
+            tree = build_tree(0, range(1, n), shape="flat")
+            result = host_based_multicast(cluster, tree, size)
+            return max(result["delivered"].values())
+
+        nb, hb = run_nb(), run_hb()
+        assert nb < hb
+        assert 1.3 < hb / nb < 2.6  # paper: up to 2.05 for <=128 B
+
+    def test_multisend_levels_off_below_one_at_16kb(self):
+        size = 16384
+        n = 5
+        cluster = make_cluster(n)
+        tree = build_tree(0, range(1, n), shape="flat")
+        nb = max(multicast(cluster, tree, size)["delivered"].values())
+        cluster2 = make_cluster(n)
+        hb = max(
+            host_based_multicast(cluster2, tree, size)["delivered"].values()
+        )
+        # Large messages: both wire-bound; NB pays header rewrites.
+        assert 0.8 < hb / nb < 1.1

@@ -1,0 +1,229 @@
+"""Direct tests of the paper's §3/§5 claims on the simulated stack."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+from repro.mcast import host_based_multicast, install_group
+from repro.mcast.manager import (
+    demand_install_group,
+    next_group_id,
+    nic_based_multicast,
+)
+from repro.net import BernoulliLoss
+from repro.trees import build_tree
+
+
+class TestForwardingWithoutHost:
+    """'the message can be forwarded by an intermediate NIC to its
+    children even if the host process has not called the broadcast'."""
+
+    def test_children_receive_while_intermediate_host_busy(self):
+        cluster = Cluster(ClusterConfig(n_nodes=4))
+        tree = build_tree(0, [1, 2, 3], shape="chain")  # 0->1->2->3
+        gid = next_group_id()
+        install_group(cluster, gid, tree)
+        delivered = {}
+
+        def root():
+            handle = yield from nic_based_multicast(cluster, gid, 512, 0)
+            del handle
+
+        def busy_intermediate():
+            # Node 1's host computes for 10 ms before even looking at
+            # its port — its NIC must forward regardless.
+            yield from cluster.node(1).host.compute(10_000.0)
+            yield from cluster.port(1).receive()
+            delivered[1] = cluster.now
+
+        def leaf(i):
+            completion = yield from cluster.port(i).receive()
+            del completion
+            delivered[i] = cluster.now
+
+        procs = [
+            cluster.spawn(root()),
+            cluster.spawn(busy_intermediate()),
+            cluster.spawn(leaf(2)),
+            cluster.spawn(leaf(3)),
+        ]
+        cluster.run(until=cluster.sim.all_of(procs))
+        # Leaves get the message in microseconds; the busy host's own
+        # delivery waits for its compute but gates nobody downstream.
+        assert delivered[2] < 100.0
+        assert delivered[3] < 150.0
+        assert delivered[1] >= 10_000.0
+
+    def test_host_based_stalls_behind_busy_intermediate(self):
+        # The contrast: host forwarding *does* gate the subtree.
+        cluster = Cluster(ClusterConfig(n_nodes=4))
+        tree = build_tree(0, [1, 2, 3], shape="chain")
+        delivered = {}
+
+        def root():
+            port = cluster.port(0)
+            handle = yield from port.send(1, 512)
+            yield handle.done
+
+        def busy_forwarder():
+            yield from cluster.node(1).host.compute(5_000.0)
+            yield from cluster.port(1).receive()
+            delivered[1] = cluster.now
+            handle = yield from cluster.port(1).send(2, 512)
+            yield handle.done
+
+        def relay(i, nxt):
+            yield from cluster.port(i).receive()
+            delivered[i] = cluster.now
+            if nxt is not None:
+                handle = yield from cluster.port(i).send(nxt, 512)
+                yield handle.done
+
+        procs = [
+            cluster.spawn(root()),
+            cluster.spawn(busy_forwarder()),
+            cluster.spawn(relay(2, 3)),
+            cluster.spawn(relay(3, None)),
+        ]
+        cluster.run(until=cluster.sim.all_of(procs))
+        assert delivered[3] > 5_000.0  # the whole chain waited
+
+
+class TestProgressUnderTokenPressure:
+    """'As long as receive tokens are available at the destinations,
+    multicast packets can be received' — and when they are scarce, the
+    scheme degrades to retransmission, never to deadlock."""
+
+    def test_concurrent_crossing_multicasts_scarce_tokens(self):
+        cost = GMCostModel(ack_timeout=150.0)
+        cluster = Cluster(
+            ClusterConfig(n_nodes=6, cost=cost, prepost_recv_tokens=1)
+        )
+        # Two concurrent groups with opposite-direction chains through
+        # the same middle nodes (IDs still respect the ordering rule
+        # relative to each root).
+        t1 = build_tree(0, [2, 3, 4], shape="chain")
+        t2 = build_tree(1, [2, 3, 5], shape="chain")
+        g1, g2 = next_group_id(), next_group_id()
+        install_group(cluster, g1, t1)
+        install_group(cluster, g2, t2)
+        got = {i: [] for i in range(6)}
+
+        def root(rank, gid):
+            handle = yield from nic_based_multicast(cluster, gid, 256, rank)
+            yield handle.done
+
+        def member(i, expected):
+            port = cluster.port(i)
+            for _ in range(expected):
+                completion = yield from port.receive()
+                got[i].append(completion.group)
+                yield from port.provide_receive_buffer()
+
+        procs = [
+            cluster.spawn(root(0, g1)),
+            cluster.spawn(root(1, g2)),
+            cluster.spawn(member(2, 2)),
+            cluster.spawn(member(3, 2)),
+            cluster.spawn(member(4, 1)),
+            cluster.spawn(member(5, 1)),
+        ]
+        cluster.run(until=cluster.sim.all_of(procs))
+        assert sorted(got[2]) == sorted([g1, g2])
+        assert sorted(got[3]) == sorted([g1, g2])
+        assert got[4] == [g1]
+        assert got[5] == [g2]
+
+    def test_many_concurrent_roots_one_token_each(self):
+        cost = GMCostModel(ack_timeout=150.0)
+        cluster = Cluster(
+            ClusterConfig(n_nodes=5, cost=cost, prepost_recv_tokens=1)
+        )
+        gids = []
+        for root in range(5):
+            gid = next_group_id()
+            gids.append(gid)
+            install_group(
+                cluster, gid,
+                build_tree(root, [i for i in range(5) if i != root],
+                           shape="chain"),
+            )
+        received = {i: 0 for i in range(5)}
+
+        def root_prog(rank, gid):
+            handle = yield from nic_based_multicast(cluster, gid, 64, rank)
+            yield handle.done
+
+        def member(i):
+            port = cluster.port(i)
+            for _ in range(4):  # one message from each other root
+                yield from port.receive()
+                received[i] += 1
+                yield from port.provide_receive_buffer()
+
+        procs = [cluster.spawn(root_prog(r, g)) for r, g in enumerate(gids)]
+        procs += [cluster.spawn(member(i)) for i in range(5)]
+        cluster.run(until=cluster.sim.all_of(procs))
+        assert all(count == 4 for count in received.values())
+
+
+class TestDemandDrivenInstall:
+    def test_demand_install_then_multicast(self):
+        cluster = Cluster(ClusterConfig(n_nodes=6))
+        tree = build_tree(0, range(1, 6), shape="binomial")
+        gid = next_group_id()
+        delivered = {}
+
+        installed = cluster.sim.event()
+
+        def root():
+            yield from demand_install_group(cluster, gid, tree)
+            installed.succeed(None)
+            handle = yield from nic_based_multicast(cluster, gid, 128, 0)
+            del handle
+
+        def member(i):
+            # demand_install_group drives the member side of the
+            # handshake itself; start consuming only after it finishes
+            # so we don't race it for the port.
+            yield installed
+            port = cluster.port(i)
+            completion = yield from port.receive()
+            assert completion.group == gid
+            delivered[i] = cluster.now
+
+        procs = [cluster.spawn(root())]
+        procs += [cluster.spawn(member(i)) for i in range(1, 6)]
+        cluster.run(until=cluster.sim.all_of(procs))
+        assert sorted(delivered) == [1, 2, 3, 4, 5]
+        for node in cluster.nodes:
+            assert gid in node.mcast.table
+
+    def test_demand_install_costs_more_than_zero_cost_path(self):
+        # The paper's first-broadcast penalty exists and is bounded.
+        cluster = Cluster(ClusterConfig(n_nodes=8))
+        tree = build_tree(0, range(1, 8), shape="binomial")
+        gid = next_group_id()
+
+        def root():
+            t0 = cluster.now
+            yield from demand_install_group(cluster, gid, tree)
+            return cluster.now - t0
+
+        proc = cluster.spawn(root())
+        cluster.run(until=proc)
+        creation_cost = proc.value
+        assert 20.0 < creation_cost < 500.0
+
+
+class TestNicAssistedUnderLoss:
+    def test_delivery_recovers(self):
+        from repro.mcast.nic_assisted import nic_assisted_multicast
+
+        cluster = Cluster(
+            ClusterConfig(n_nodes=6, seed=3), loss=BernoulliLoss(0.1)
+        )
+        tree = build_tree(0, range(1, 6), shape="binomial")
+        result = nic_assisted_multicast(cluster, tree, 2048)
+        assert sorted(result["delivered"]) == [1, 2, 3, 4, 5]

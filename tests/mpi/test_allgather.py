@@ -1,0 +1,93 @@
+"""Tests for all-to-all broadcast (ring and NIC-based)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mpi import Communicator
+from repro.net import BernoulliLoss
+
+
+def run_allgather(n, nic, size=128, rounds=1, loss=None, seed=0):
+    cluster = Cluster(ClusterConfig(n_nodes=n, seed=seed), loss=loss)
+    comm = Communicator(cluster)
+    results = {}
+
+    def program(ctx):
+        for r in range(rounds):
+            out = yield from ctx.allgather(
+                size, value=(ctx.rank, r), nic=nic
+            )
+            results.setdefault(ctx.rank, []).append(out)
+
+    comm.run(program)
+    return results
+
+
+@pytest.mark.parametrize("nic", [False, True], ids=["ring", "nic"])
+def test_every_rank_gets_every_block(nic):
+    n = 6
+    results = run_allgather(n, nic)
+    expected = [(r, 0) for r in range(n)]
+    for rank in range(n):
+        assert results[rank][0] == expected
+
+
+@pytest.mark.parametrize("nic", [False, True], ids=["ring", "nic"])
+def test_repeated_rounds(nic):
+    n = 4
+    results = run_allgather(n, nic, rounds=3)
+    for rank in range(n):
+        for r in range(3):
+            assert results[rank][r] == [(q, r) for q in range(n)]
+
+
+def test_single_rank_degenerate():
+    results = run_allgather(1, nic=True)
+    assert results[0][0] == [(0, 0)]
+
+
+def test_nic_allgather_under_loss():
+    results = run_allgather(
+        5, nic=True, rounds=2, loss=BernoulliLoss(0.08), seed=4
+    )
+    for rank in range(5):
+        assert results[rank][0] == [(q, 0) for q in range(5)]
+        assert results[rank][1] == [(q, 1) for q in range(5)]
+
+
+def test_nic_allgather_faster_steady_state():
+    def steady_time(nic, n=12, size=1024):
+        cluster = Cluster(ClusterConfig(n_nodes=n))
+        comm = Communicator(cluster)
+        times = {}
+
+        def program(ctx):
+            yield from ctx.allgather(size, value=0, nic=nic)  # warmup
+            yield from ctx.barrier()
+            t0 = ctx.sim.now
+            yield from ctx.allgather(size, value=ctx.rank, nic=nic)
+            times[ctx.rank] = ctx.sim.now - t0
+
+        comm.run(program)
+        return max(times.values())
+
+    t_ring = steady_time(False)
+    t_nic = steady_time(True)
+    # n concurrent multicasts beat n-1 serialized ring steps.
+    assert t_nic < t_ring
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    size=st.sampled_from([0, 64, 4096]),
+    nic=st.booleans(),
+)
+def test_property_allgather_correct(n, size, nic):
+    results = run_allgather(n, nic, size=size)
+    for rank in range(n):
+        assert results[rank][0] == [(q, 0) for q in range(n)]

@@ -1,0 +1,224 @@
+"""MPI collectives: barrier, host-based and NIC-based broadcast."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mpi import Communicator, dissemination_rounds
+from repro.mpi.bcast import rank_binomial_tree
+from repro.net import BernoulliLoss
+
+
+def make_comm(n=8, nic_bcast=True, loss=None, **cfg):
+    cluster = Cluster(ClusterConfig(n_nodes=n, **cfg), loss=loss)
+    return Communicator(cluster, nic_bcast=nic_bcast)
+
+
+class TestBarrier:
+    def test_rounds_formula(self):
+        assert dissemination_rounds(1) == 0
+        assert dissemination_rounds(2) == 1
+        assert dissemination_rounds(5) == 3
+        assert dissemination_rounds(16) == 4
+
+    def test_barrier_synchronizes(self):
+        comm = make_comm(6)
+        exit_times = {}
+
+        def program(ctx):
+            # Ranks arrive at wildly different times...
+            yield from ctx.compute(ctx.rank * 100.0)
+            yield from ctx.barrier()
+            exit_times[ctx.rank] = ctx.sim.now
+
+        comm.run(program)
+        # ...but nobody leaves before the last arrival at t=500.
+        assert min(exit_times.values()) >= 500.0
+        spread = max(exit_times.values()) - min(exit_times.values())
+        assert spread < 60.0
+
+    def test_repeated_barriers(self):
+        comm = make_comm(4)
+        counts = []
+
+        def program(ctx):
+            for _ in range(5):
+                yield from ctx.barrier()
+            counts.append(ctx.rank)
+
+        comm.run(program)
+        assert len(counts) == 4
+
+
+class TestRankBinomialTree:
+    def test_root_zero_matches_plain_binomial(self):
+        tree = rank_binomial_tree(8, 0)
+        assert sorted(tree.children_of(0)) == [1, 2, 4]
+
+    def test_rotation(self):
+        tree = rank_binomial_tree(8, 3)
+        assert tree.root == 3
+        assert sorted(tree.nodes) == list(range(8))
+
+    @given(
+        size=st.integers(min_value=1, max_value=40),
+        root=st.integers(min_value=0, max_value=39),
+    )
+    def test_property_covers_all_ranks(self, size, root):
+        if root >= size:
+            root %= size
+        tree = rank_binomial_tree(size, root)
+        assert sorted(tree.nodes) == list(range(size))
+
+
+class TestBcast:
+    @pytest.mark.parametrize("nic", [True, False], ids=["nic", "host"])
+    def test_payload_reaches_all(self, nic):
+        comm = make_comm(8, nic_bcast=nic)
+        got = {}
+
+        def program(ctx):
+            value = {"data": 42} if ctx.rank == 2 else None
+            value = yield from ctx.bcast(root=2, size=512, payload=value)
+            got[ctx.rank] = value
+
+        comm.run(program)
+        assert all(got[r] == {"data": 42} for r in range(8))
+
+    @pytest.mark.parametrize("nic", [True, False], ids=["nic", "host"])
+    def test_repeated_bcasts(self, nic):
+        comm = make_comm(4, nic_bcast=nic)
+        got = {r: [] for r in range(4)}
+
+        def program(ctx):
+            for k in range(6):
+                value = k * 10 if ctx.rank == 0 else None
+                value = yield from ctx.bcast(root=0, size=64, payload=value)
+                got[ctx.rank].append(value)
+
+        comm.run(program)
+        for r in range(4):
+            assert got[r] == [0, 10, 20, 30, 40, 50]
+
+    def test_nic_bcast_creates_group_once(self):
+        comm = make_comm(4)
+
+        def program(ctx):
+            for _ in range(3):
+                yield from ctx.bcast(root=0, size=64)
+
+        comm.run(program)
+        assert len(comm.bcast_groups) == 1
+        # Group table holds exactly one entry per node.
+        gid = comm.bcast_groups[0]
+        for node in comm.cluster.nodes:
+            assert gid in node.mcast.table
+
+    def test_different_roots_different_groups(self):
+        comm = make_comm(4)
+
+        def program(ctx):
+            yield from ctx.bcast(root=0, size=64)
+            yield from ctx.bcast(root=1, size=64)
+
+        comm.run(program)
+        assert set(comm.bcast_groups) == {0, 1}
+        assert comm.bcast_groups[0] != comm.bcast_groups[1]
+
+    def test_first_bcast_pays_group_creation(self):
+        comm = make_comm(8)
+        times = []
+
+        def program(ctx):
+            for _ in range(3):
+                t0 = ctx.sim.now
+                yield from ctx.bcast(root=0, size=64)
+                if ctx.rank == 0:
+                    times.append(ctx.sim.now - t0)
+
+        comm.run(program)
+        assert times[0] > 2 * times[1]  # demand-driven creation cost
+
+    def test_large_message_falls_back_to_host_based(self):
+        comm = make_comm(4)
+        got = {}
+
+        def program(ctx):
+            value = "big" if ctx.rank == 0 else None
+            value = yield from ctx.bcast(root=0, size=60_000, payload=value)
+            got[ctx.rank] = value
+
+        comm.run(program)
+        assert all(v == "big" for v in got.values())
+        assert comm.bcast_groups == {}  # NIC path never engaged
+
+    def test_nic_beats_host_bcast_16_ranks(self):
+        def bcast_time(nic, size):
+            comm = make_comm(16, nic_bcast=nic)
+            done = {}
+
+            def program(ctx):
+                # warm up (group creation)
+                yield from ctx.bcast(root=0, size=size)
+                yield from ctx.barrier()
+                t0 = ctx.sim.now
+                yield from ctx.bcast(root=0, size=size)
+                done[ctx.rank] = ctx.sim.now - t0
+
+            comm.run(program)
+            return max(done.values())
+
+        for size in (8, 1024, 8192):
+            t_nic = bcast_time(True, size)
+            t_host = bcast_time(False, size)
+            assert t_nic < t_host, size
+            assert 1.2 < t_host / t_nic < 3.0, size
+
+    def test_bcast_under_loss_still_correct(self):
+        comm = make_comm(6, loss=BernoulliLoss(0.1), seed=5)
+        got = {}
+
+        def program(ctx):
+            for k in range(4):
+                value = k if ctx.rank == 0 else None
+                value = yield from ctx.bcast(root=0, size=256, payload=value)
+                got.setdefault(ctx.rank, []).append(value)
+
+        comm.run(program)
+        for r in range(6):
+            assert got[r] == [0, 1, 2, 3]
+
+    def test_bcast_cpu_time_accounted(self):
+        comm = make_comm(4)
+
+        def program(ctx):
+            yield from ctx.bcast(root=0, size=64)
+
+        comm.run(program)
+        for ctx in comm.ranks:
+            assert ctx.bcast_calls == 1
+            assert ctx.bcast_cpu_time > 0
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    root=st.integers(min_value=0, max_value=9),
+    size=st.sampled_from([0, 8, 2048, 16287]),
+    nic=st.booleans(),
+)
+def test_property_bcast_correct_everywhere(n, root, size, nic):
+    root %= n
+    comm = make_comm(n, nic_bcast=nic)
+    got = {}
+
+    def program(ctx):
+        value = ("payload", root) if ctx.rank == root else None
+        value = yield from ctx.bcast(root=root, size=size, payload=value)
+        got[ctx.rank] = value
+
+    comm.run(program)
+    assert all(got[r] == ("payload", root) for r in range(n))

@@ -1,0 +1,216 @@
+"""MPI point-to-point semantics: eager, rendezvous, matching."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import MPIError
+from repro.mpi import Communicator
+
+
+def make_comm(n=4, **cfg):
+    return Communicator(Cluster(ClusterConfig(n_nodes=n, **cfg)))
+
+
+class TestEager:
+    def test_send_recv_payload(self):
+        comm = make_comm(2)
+        out = {}
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 128, tag=7, payload={"x": 1})
+            else:
+                entry = yield from ctx.recv(source=0, tag=7)
+                out["msg"] = entry
+
+        comm.run(program)
+        assert out["msg"]["payload"] == {"x": 1}
+        assert out["msg"]["size"] == 128
+        assert out["msg"]["src_rank"] == 0
+
+    def test_any_source_any_tag(self):
+        comm = make_comm(3)
+        got = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for _ in range(2):
+                    entry = yield from ctx.recv()
+                    got.append((entry["src_rank"], entry["tag"]))
+            else:
+                yield from ctx.send(0, 16, tag=ctx.rank * 10)
+
+        comm.run(program)
+        assert sorted(got) == [(1, 10), (2, 20)]
+
+    def test_unexpected_messages_buffered(self):
+        comm = make_comm(2)
+        order = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 8, tag=1, payload="first")
+                yield from ctx.send(1, 8, tag=2, payload="second")
+            else:
+                # Receive in reverse tag order: tag-1 must wait in the
+                # unexpected queue while tag-2 is matched.
+                yield from ctx.compute(50.0)
+                e2 = yield from ctx.recv(source=0, tag=2)
+                e1 = yield from ctx.recv(source=0, tag=1)
+                order.extend([e2["payload"], e1["payload"]])
+
+        comm.run(program)
+        assert order == ["second", "first"]
+
+    def test_ordering_same_tag(self):
+        comm = make_comm(2)
+        seen = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for k in range(5):
+                    yield from ctx.send(1, 8, tag=0, payload=k)
+            else:
+                for _ in range(5):
+                    entry = yield from ctx.recv(source=0, tag=0)
+                    seen.append(entry["payload"])
+
+        comm.run(program)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_self_send_rejected(self):
+        comm = make_comm(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                with pytest.raises(MPIError):
+                    yield from ctx.send(0, 8)
+            return
+            yield  # pragma: no cover - make it a generator
+
+        comm.run(program, ranks=[0])
+
+    def test_bad_rank_rejected(self):
+        comm = make_comm(2)
+
+        def program(ctx):
+            with pytest.raises(MPIError):
+                yield from ctx.send(9, 8)
+            return
+            yield  # pragma: no cover
+
+        comm.run(program, ranks=[0])
+
+
+class TestRendezvous:
+    def test_large_message_uses_rendezvous(self):
+        comm = make_comm(2)
+        out = {}
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 100_000, tag=3, payload="big")
+            else:
+                entry = yield from ctx.recv(source=0, tag=3)
+                out["entry"] = entry
+
+        comm.run(program)
+        assert out["entry"]["kind"] == "rdma_data"
+        assert out["entry"]["payload"] == "big"
+
+    def test_rendezvous_registration_cleaned_up(self):
+        comm = make_comm(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 50_000)
+            else:
+                yield from ctx.recv(source=0)
+
+        comm.run(program)
+        for node in comm.cluster.nodes:
+            assert node.memory.registered_bytes == 0
+
+    def test_threshold_boundary(self):
+        # 16287 is still eager; 16288+ would cross toward rendezvous
+        # territory (MPICH-GM's eager max).
+        comm = make_comm(2)
+        kinds = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 16287, tag=1)
+                yield from ctx.send(1, 16288, tag=2)
+            else:
+                e1 = yield from ctx.recv(source=0, tag=1)
+                e2 = yield from ctx.recv(source=0, tag=2)
+                kinds.extend([e1["kind"], e2["kind"]])
+
+        comm.run(program)
+        assert kinds == ["eager", "rdma_data"]
+
+    def test_rendezvous_exchanges_control_messages(self):
+        # Rendezvous = RTS + CTS + data: three GM sends for one message
+        # (eager posts exactly one).
+        def count_sends(size):
+            comm = make_comm(2)
+
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.send(1, size)
+                else:
+                    yield from ctx.recv(source=0)
+
+            comm.run(program)
+            return (
+                comm.cluster.port(0).sends_posted,
+                comm.cluster.port(1).sends_posted,
+            )
+
+        assert count_sends(1000) == (1, 0)  # eager
+        assert count_sends(40_000) == (2, 1)  # RTS + data; CTS back
+
+
+class TestCommunicator:
+    def test_rank_node_mapping(self):
+        cluster = Cluster(ClusterConfig(n_nodes=4))
+        comm = Communicator(cluster, node_of_rank=[3, 1, 2, 0])
+        assert comm.context(0).node.id == 3
+        assert comm.rank_of_node[0] == 3
+
+    def test_duplicate_nodes_rejected(self):
+        cluster = Cluster(ClusterConfig(n_nodes=4))
+        with pytest.raises(MPIError):
+            Communicator(cluster, node_of_rank=[0, 0, 1, 2])
+
+    def test_unknown_node_rejected(self):
+        cluster = Cluster(ClusterConfig(n_nodes=2))
+        with pytest.raises(MPIError):
+            Communicator(cluster, node_of_rank=[0, 5])
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        size=st.sampled_from([0, 1, 4096, 16287, 16288, 40_000]),
+        n_msgs=st.integers(min_value=1, max_value=5),
+    )
+    def test_property_ping_pong_conserves_order(self, size, n_msgs):
+        comm = make_comm(2)
+        seen = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for k in range(n_msgs):
+                    yield from ctx.send(1, size, tag=0, payload=k)
+                    yield from ctx.recv(source=1, tag=0)
+            else:
+                for k in range(n_msgs):
+                    entry = yield from ctx.recv(source=0, tag=0)
+                    seen.append(entry["payload"])
+                    yield from ctx.send(0, 4, tag=0)
+
+        comm.run(program)
+        assert seen == list(range(n_msgs))

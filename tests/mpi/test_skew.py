@@ -1,0 +1,65 @@
+"""Process-skew tolerance (paper §6.3 / Figs. 6-7)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mpi import Communicator, run_skew_experiment
+
+
+def skew_point(n, nic, max_skew, size=4, iterations=12, seed=0):
+    cluster = Cluster(ClusterConfig(n_nodes=n, seed=seed))
+    comm = Communicator(cluster, nic_bcast=nic)
+    return run_skew_experiment(
+        comm, size=size, max_skew=max_skew, iterations=iterations, warmup=2
+    )
+
+
+def test_zero_skew_baseline():
+    result = skew_point(4, nic=True, max_skew=0.0)
+    assert result.mean_applied_skew == 0.0
+    assert result.mean_bcast_cpu_time > 0
+
+
+def test_applied_skew_tracks_max():
+    lo = skew_point(4, nic=True, max_skew=100.0)
+    hi = skew_point(4, nic=True, max_skew=800.0)
+    assert hi.mean_applied_skew > 3 * lo.mean_applied_skew
+
+
+def test_nic_bcast_cheaper_under_skew():
+    # The paper's headline: with large skew, NIC-based bcast burns far
+    # less host CPU time because delayed intermediates don't gate their
+    # subtrees.
+    hb = skew_point(8, nic=False, max_skew=800.0)
+    nb = skew_point(8, nic=True, max_skew=800.0)
+    assert nb.mean_bcast_cpu_time < hb.mean_bcast_cpu_time
+    assert hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time > 1.5
+
+
+def test_hb_cpu_time_grows_with_skew_nb_does_not():
+    # Paper Fig. 6a: beyond modest skew the host-based CPU time rises
+    # while the NIC-based one falls.
+    hb_small = skew_point(8, nic=False, max_skew=100.0)
+    hb_large = skew_point(8, nic=False, max_skew=800.0)
+    nb_small = skew_point(8, nic=True, max_skew=100.0)
+    nb_large = skew_point(8, nic=True, max_skew=800.0)
+    assert hb_large.mean_bcast_cpu_time > hb_small.mean_bcast_cpu_time
+    assert nb_large.mean_bcast_cpu_time <= nb_small.mean_bcast_cpu_time * 1.3
+
+
+def test_improvement_grows_with_system_size():
+    # Paper Fig. 7: larger systems benefit more at fixed skew.
+    def factor(n):
+        hb = skew_point(n, nic=False, max_skew=800.0, seed=1)
+        nb = skew_point(n, nic=True, max_skew=800.0, seed=1)
+        return hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
+
+    f4, f16 = factor(4), factor(16)
+    assert f16 > f4
+
+
+def test_per_rank_breakdown_present():
+    result = skew_point(4, nic=True, max_skew=200.0)
+    assert len(result.per_rank_cpu_time) == 4
+    assert all(t >= 0 for t in result.per_rank_cpu_time)

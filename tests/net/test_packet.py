@@ -1,0 +1,106 @@
+"""Unit tests for packets, headers, and message segmentation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (
+    GM_HEADER_BYTES,
+    GM_MTU_PAYLOAD,
+    Packet,
+    PacketHeader,
+    PacketType,
+    split_message,
+)
+
+
+def make_packet(**over):
+    fields = dict(
+        ptype=PacketType.DATA, src=0, dst=1, origin=0, seq=7, payload=100
+    )
+    fields.update(over)
+    return Packet(header=PacketHeader(**fields))
+
+
+def test_wire_size_includes_header():
+    pkt = make_packet(payload=100)
+    assert pkt.wire_size == 100 + GM_HEADER_BYTES
+
+
+def test_uids_unique():
+    assert make_packet().uid != make_packet().uid
+
+
+def test_clone_gets_new_uid_and_overrides():
+    pkt = make_packet(dst=1, seq=3)
+    copy = pkt.clone(dst=5)
+    assert copy.uid != pkt.uid
+    assert copy.dst == 5
+    assert copy.header.seq == 3
+    assert pkt.dst == 1  # original untouched
+
+
+def test_clone_info_is_independent():
+    pkt = make_packet()
+    pkt.header.info["credits"] = 4
+    copy = pkt.clone()
+    copy.header.info["credits"] = 9
+    assert pkt.header.info["credits"] == 4
+
+
+def test_describe_is_readable():
+    text = make_packet(group=2, seq=11).describe()
+    assert "grp=2" in text and "seq=11" in text
+
+
+def test_ptype_is_data():
+    assert PacketType.DATA.is_data
+    assert PacketType.MCAST_DATA.is_data
+    assert not PacketType.ACK.is_data
+    assert not PacketType.CREDIT.is_data
+
+
+class TestSplitMessage:
+    def test_zero_byte_message_is_one_packet(self):
+        assert split_message(0) == [0]
+
+    def test_small_message_single_packet(self):
+        assert split_message(100) == [100]
+
+    def test_exact_mtu(self):
+        assert split_message(GM_MTU_PAYLOAD) == [GM_MTU_PAYLOAD]
+
+    def test_mtu_plus_one(self):
+        assert split_message(GM_MTU_PAYLOAD + 1) == [GM_MTU_PAYLOAD, 1]
+
+    def test_16kb_is_four_packets(self):
+        assert split_message(16384) == [4096, 4096, 4096, 4096]
+
+    def test_paper_eager_limit(self):
+        # 16287 bytes: the largest MPICH-GM eager message.
+        chunks = split_message(16287)
+        assert chunks == [4096, 4096, 4096, 3999]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            split_message(-1)
+
+    def test_bad_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            split_message(10, mtu=0)
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_chunks_sum_to_size(self, size):
+        chunks = split_message(size)
+        assert sum(chunks) == size
+        assert all(0 <= c <= GM_MTU_PAYLOAD for c in chunks)
+        # Only the last chunk may be partial.
+        assert all(c == GM_MTU_PAYLOAD for c in chunks[:-1])
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 18),
+        st.integers(min_value=1, max_value=9000),
+    )
+    def test_chunk_count_matches_ceiling(self, size, mtu):
+        chunks = split_message(size, mtu=mtu)
+        assert len(chunks) == -(-size // mtu)

@@ -1,0 +1,225 @@
+"""Unit tests for the simulation engine and event primitives."""
+
+import pytest
+
+from repro.sim import Simulator, SimEvent
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    t = sim.timeout(5.0)
+    sim.run(until=t)
+    assert sim.now == 5.0
+
+
+def test_timeout_value_delivered():
+    sim = Simulator()
+    t = sim.timeout(1.0, value="payload")
+    assert sim.run(until=t) == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_stops_exactly():
+    sim = Simulator()
+    fired = []
+    sim.timeout(3.0).add_callback(lambda ev: fired.append(sim.now))
+    sim.timeout(10.0).add_callback(lambda ev: fired.append(sim.now))
+    sim.run(until=5.0)
+    assert fired == [3.0]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [3.0, 10.0]
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_event_succeed_once_only():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError("nope"))
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_untriggered_event_has_no_value():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_callback_after_processed_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("x")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.timeout(1.0, value=i).add_callback(lambda ev: order.append(ev.value))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_determinism_across_runs():
+    def build_and_run():
+        sim = Simulator(seed=42)
+        log = []
+
+        def proc(tag, n):
+            rng = sim.rng("jitter")
+            for _ in range(n):
+                yield sim.timeout(rng.uniform(0, 1))
+                log.append((round(sim.now, 9), tag))
+
+        sim.process(proc("a", 20))
+        sim.process(proc("b", 20))
+        sim.run()
+        return log
+
+    assert build_and_run() == build_and_run()
+
+
+def test_rng_streams_independent():
+    sim = Simulator(seed=1)
+    a1 = [sim.rng("a").random() for _ in range(5)]
+    sim2 = Simulator(seed=1)
+    # Draw from "b" first: must not perturb "a".
+    [sim2.rng("b").random() for _ in range(100)]
+    a2 = [sim2.rng("a").random() for _ in range(5)]
+    assert a1 == a2
+
+
+def test_rng_different_seeds_differ():
+    assert Simulator(seed=1).rng("x").random() != Simulator(seed=2).rng("x").random()
+
+
+def test_call_at():
+    sim = Simulator()
+    out = []
+    sim.call_at(7.5, lambda: out.append(sim.now))
+    sim.run()
+    assert out == [7.5]
+
+
+def test_call_at_past_raises():
+    sim = Simulator()
+    sim.run(until=10.0)
+    with pytest.raises(ValueError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_peek():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_run_until_event_from_other_source():
+    sim = Simulator()
+    ev = sim.event()
+    sim.timeout(3.0).add_callback(lambda _e: ev.succeed("done"))
+    assert sim.run(until=ev) == "done"
+    assert sim.now == 3.0
+
+
+def test_run_until_never_triggered_event_raises():
+    sim = Simulator()
+    ev = sim.event()
+    sim.timeout(1.0)
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        sim.run(until=ev)
+
+
+def test_run_until_failed_event_raises_its_exception():
+    sim = Simulator()
+    ev = sim.event()
+    sim.timeout(1.0).add_callback(lambda _e: ev.fail(KeyError("boom")))
+    with pytest.raises(KeyError):
+        sim.run(until=ev)
+
+
+class TestConditions:
+    def test_anyof_first_wins(self):
+        sim = Simulator()
+        t1 = sim.timeout(1.0, "fast")
+        t2 = sim.timeout(2.0, "slow")
+        result = sim.run(until=sim.any_of([t1, t2]))
+        assert result == {t1: "fast"}
+        assert sim.now == 1.0
+
+    def test_allof_waits_for_all(self):
+        sim = Simulator()
+        t1 = sim.timeout(1.0, "a")
+        t2 = sim.timeout(2.0, "b")
+        result = sim.run(until=sim.all_of([t1, t2]))
+        assert result == {t1: "a", t2: "b"}
+        assert sim.now == 2.0
+
+    def test_empty_allof_is_immediate(self):
+        sim = Simulator()
+        cond = sim.all_of([])
+        assert cond.triggered
+
+    def test_or_operator(self):
+        sim = Simulator()
+        t1 = sim.timeout(1.0)
+        t2 = sim.timeout(5.0)
+        sim.run(until=t1 | t2)
+        assert sim.now == 1.0
+
+    def test_and_operator(self):
+        sim = Simulator()
+        t1 = sim.timeout(1.0)
+        t2 = sim.timeout(5.0)
+        sim.run(until=t1 & t2)
+        assert sim.now == 5.0
+
+    def test_condition_failure_propagates(self):
+        sim = Simulator()
+        good = sim.timeout(2.0)
+        bad = sim.event()
+        sim.timeout(1.0).add_callback(lambda _e: bad.fail(ValueError("x")))
+        cond = sim.all_of([good, bad])
+        with pytest.raises(ValueError):
+            sim.run(until=cond)
+
+    def test_cross_simulator_condition_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        t1, t2 = sim1.timeout(1.0), sim2.timeout(1.0)
+        with pytest.raises(ValueError):
+            sim1.all_of([t1, t2])

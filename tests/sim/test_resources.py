@@ -1,0 +1,238 @@
+"""Unit tests for Resource / Store primitives."""
+
+import pytest
+
+from repro.sim import PriorityStore, Resource, Simulator, Store
+
+
+class TestResource:
+    def test_immediate_grant_when_free(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        req = res.request()
+        assert req.triggered
+        assert res.in_use == 1
+
+    def test_capacity_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_fifo_granting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            yield from res.use(hold)
+            order.append((sim.now, tag))
+
+        sim.process(user("a", 5.0))
+        sim.process(user("b", 3.0))
+        sim.process(user("c", 1.0))
+        sim.run()
+        assert order == [(5.0, "a"), (8.0, "b"), (9.0, "c")]
+
+    def test_priority_granting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, prio):
+            req = res.request(priority=prio)
+            yield req
+            yield sim.timeout(1.0)
+            res.release(req)
+            order.append(tag)
+
+        def starter():
+            hold = res.request()
+            yield hold
+            yield sim.timeout(1.0)
+            # By now low/high priority requests are queued.
+            res.release(hold)
+
+        sim.process(starter())
+
+        def late_spawner():
+            yield sim.timeout(0.5)
+            sim.process(user("low", 5))
+            sim.process(user("high", 1))
+
+        sim.process(late_spawner())
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_capacity_two_parallel(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def user(tag):
+            yield from res.use(10.0)
+            done.append((sim.now, tag))
+
+        for t in "abc":
+            sim.process(user(t))
+        sim.run()
+        assert done == [(10.0, "a"), (10.0, "b"), (20.0, "c")]
+
+    def test_double_release_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(RuntimeError):
+            res.release(req)
+
+    def test_release_wrong_resource_raises(self):
+        sim = Simulator()
+        r1, r2 = Resource(sim), Resource(sim)
+        req = r1.request()
+        with pytest.raises(ValueError):
+            r2.release(req)
+
+    def test_cancel_pending_request(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        assert not second.triggered
+        res.release(second)  # cancel before grant
+        assert res.queue_length == 0
+        res.release(first)
+        assert res.in_use == 0
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim)
+        res.request()
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+    def test_use_releases_on_completion(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def user():
+            yield from res.use(2.0)
+
+        sim.run(until=sim.process(user()))
+        assert res.in_use == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        got = store.get()
+        assert got.triggered and got.value == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        out = []
+
+        def consumer():
+            item = yield store.get()
+            out.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(4.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert out == [(4.0, "late")]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        out = []
+
+        def consumer():
+            for _ in range(5):
+                out.append((yield store.get()))
+
+        sim.run(until=sim.process(consumer()))
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_multiple_getters_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        out = []
+
+        def consumer(tag):
+            item = yield store.get()
+            out.append((tag, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put("a")
+            store.put("b")
+
+        sim.process(producer())
+        sim.run()
+        assert out == [("first", "a"), ("second", "b")]
+
+    def test_len_and_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == (1, 2)
+
+
+class TestPriorityStore:
+    def test_lowest_priority_first(self):
+        sim = Simulator()
+        store = PriorityStore(sim)
+        store.put_priority(5, "low")
+        store.put_priority(1, "high")
+        store.put_priority(3, "mid")
+        out = []
+
+        def consumer():
+            for _ in range(3):
+                out.append((yield store.get()))
+
+        sim.run(until=sim.process(consumer()))
+        assert out == ["high", "mid", "low"]
+
+    def test_plain_put_is_priority_zero(self):
+        sim = Simulator()
+        store = PriorityStore(sim)
+        store.put_priority(1, "later")
+        store.put("urgent")
+        out = []
+
+        def consumer():
+            for _ in range(2):
+                out.append((yield store.get()))
+
+        sim.run(until=sim.process(consumer()))
+        assert out == ["urgent", "later"]
+
+    def test_fifo_within_priority(self):
+        sim = Simulator()
+        store = PriorityStore(sim)
+        for tag in ("a", "b", "c"):
+            store.put_priority(2, tag)
+        out = []
+
+        def consumer():
+            for _ in range(3):
+                out.append((yield store.get()))
+
+        sim.run(until=sim.process(consumer()))
+        assert out == ["a", "b", "c"]

@@ -1,0 +1,68 @@
+"""Unit tests for the tracer."""
+
+from repro.sim import Simulator
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def test_disabled_by_default():
+    sim = Simulator()
+    sim.record("c", "evt", x=1)
+    assert len(sim.trace) == 0
+
+
+def test_enabled_records():
+    sim = Simulator(trace=True)
+    sim.record("nic[0]", "tx_start", uid=1)
+    sim.record("nic[1]", "tx_done", uid=1)
+    assert len(sim.trace) == 2
+    assert sim.trace.records[0].component == "nic[0]"
+
+
+def test_record_fields_access():
+    rec = TraceRecord(1.0, "c", "k", {"a": 5})
+    assert rec["a"] == 5
+    assert rec.get("missing", 9) == 9
+
+
+def test_filter_by_component_and_category():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "a", "x", {})
+    tracer.record(2.0, "b", "x", {})
+    tracer.record(3.0, "a", "y", {})
+    assert len(tracer.filter(component="a")) == 2
+    assert len(tracer.filter(category="x")) == 1 + 1
+    assert len(tracer.filter(component="a", category="x")) == 1
+
+
+def test_filter_since_and_predicate():
+    tracer = Tracer(enabled=True)
+    for t in range(5):
+        tracer.record(float(t), "c", "k", {"v": t})
+    assert len(tracer.filter(since=2.0)) == 3
+    assert len(tracer.filter(predicate=lambda r: r["v"] % 2 == 0)) == 3
+
+
+def test_categories_and_clear():
+    tracer = Tracer(enabled=True)
+    tracer.record(0.0, "c", "a", {})
+    tracer.record(0.0, "c", "b", {})
+    assert tracer.categories() == {"a", "b"}
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_spans_pairing():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "c", "start", {"id": 1})
+    tracer.record(2.0, "c", "start", {"id": 2})
+    tracer.record(3.0, "c", "end", {"id": 1})
+    tracer.record(5.0, "c", "end", {"id": 2})
+    tracer.record(6.0, "c", "end", {"id": 99})  # unmatched end ignored
+    spans = tracer.spans("start", "end", "id")
+    assert spans == [(1, 1.0, 3.0), (2, 2.0, 5.0)]
+
+
+def test_iteration():
+    tracer = Tracer(enabled=True)
+    tracer.record(0.0, "c", "k", {})
+    assert [r.category for r in tracer] == ["k"]

@@ -1,0 +1,120 @@
+"""Chaos integration: random mixed workloads + global invariants.
+
+Hypothesis drives random mixtures of unicasts, multicasts, barriers,
+allreduces and broadcasts over lossy fabrics, then asserts the global
+invariants the stack must never violate: exactly-once in-order delivery,
+drained buffers and tokens, no pinned memory, no lingering retransmit
+state.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mpi import Communicator
+from repro.net import BernoulliLoss
+
+
+def assert_quiescent(cluster):
+    """The invariants that must hold once everything drained."""
+    for node in cluster.nodes:
+        assert node.nic.send_buffers.free == node.nic.send_buffers.size
+        assert node.nic.recv_buffers.free == node.nic.recv_buffers.size
+        assert node.memory.registered_bytes == 0, node.id
+        assert node.mcast.pending_retransmit_state() == {}
+        for state in node.mcast.table._groups.values():
+            assert not state.held
+        for coll_state in node.coll._state.values():
+            assert coll_state.epochs == {}
+    for port in cluster.ports:
+        assert port.free_send_tokens == cluster.cost.send_tokens_per_port
+
+
+OPS = ["bcast", "allreduce", "barrier", "allgather", "p2p"]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=9999),
+    rate=st.floats(min_value=0.0, max_value=0.12),
+    script=st.lists(st.sampled_from(OPS), min_size=1, max_size=6),
+    nic=st.booleans(),
+)
+def test_random_mixed_workload(n, seed, rate, script, nic):
+    cluster = Cluster(
+        ClusterConfig(n_nodes=n, seed=seed),
+        loss=BernoulliLoss(rate) if rate > 0 else None,
+    )
+    comm = Communicator(cluster, nic_bcast=nic)
+    outcomes = {r: [] for r in range(n)}
+
+    def program(ctx):
+        for step, op in enumerate(script):
+            if op == "bcast":
+                value = ("b", step) if ctx.rank == 0 else None
+                value = yield from ctx.bcast(root=0, size=257, payload=value)
+                outcomes[ctx.rank].append(value)
+            elif op == "allreduce":
+                out = yield from ctx.allreduce(ctx.rank + step, nic=nic)
+                outcomes[ctx.rank].append(out)
+            elif op == "barrier":
+                yield from ctx.barrier(nic=nic)
+                outcomes[ctx.rank].append("barrier")
+            elif op == "allgather":
+                out = yield from ctx.allgather(64, value=ctx.rank, nic=nic)
+                outcomes[ctx.rank].append(tuple(out))
+            elif op == "p2p":
+                if ctx.rank == 0 and n > 1:
+                    yield from ctx.send(1, 96, tag=step, payload=step)
+                    outcomes[ctx.rank].append(("sent", step))
+                elif ctx.rank == 1:
+                    entry = yield from ctx.recv(source=0, tag=step)
+                    outcomes[ctx.rank].append(("got", entry["payload"]))
+                else:
+                    outcomes[ctx.rank].append(None)
+
+    comm.run(program)
+    cluster.run()  # drain every ack, timer, and straggler
+
+    # Semantic checks per op.
+    for step, op in enumerate(script):
+        if op == "bcast":
+            assert all(
+                outcomes[r][step] == ("b", step) for r in range(n)
+            ), (op, step)
+        elif op == "allreduce":
+            expected = sum(r + step for r in range(n))
+            assert all(
+                outcomes[r][step] == expected for r in range(n)
+            ), (op, step)
+        elif op == "allgather":
+            assert all(
+                outcomes[r][step] == tuple(range(n)) for r in range(n)
+            ), (op, step)
+        elif op == "p2p" and n > 1:
+            assert outcomes[1][step] == ("got", step)
+    assert_quiescent(cluster)
+
+
+def test_long_steady_stream_with_loss():
+    """A longer single scenario: 25 broadcasts under 8% loss."""
+    cluster = Cluster(ClusterConfig(n_nodes=6, seed=1),
+                      loss=BernoulliLoss(0.08))
+    comm = Communicator(cluster)
+    got = {r: [] for r in range(6)}
+
+    def program(ctx):
+        for k in range(25):
+            value = k if ctx.rank == 0 else None
+            value = yield from ctx.bcast(root=0, size=1024, payload=value)
+            got[ctx.rank].append(value)
+
+    comm.run(program)
+    cluster.run()
+    for r in range(6):
+        assert got[r] == list(range(25))
+    assert_quiescent(cluster)

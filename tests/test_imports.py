@@ -1,0 +1,38 @@
+"""Every module imports cleanly and every __all__ name resolves."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    if not name.endswith("__main__")
+)
+
+
+def test_module_discovery_found_the_stack():
+    packages = {name.split(".")[1] for name in MODULES if "." in name}
+    assert {
+        "sim", "net", "nic", "gm", "mcast", "trees", "host", "mpi",
+        "coll", "experiments", "analysis",
+    } <= packages
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.__all__ lists {export}"
+
+
+def test_top_level_api():
+    assert repro.Cluster is not None
+    assert repro.ClusterConfig is not None
+    assert repro.GMCostModel is not None
+    assert isinstance(repro.__version__, str)

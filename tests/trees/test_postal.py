@@ -1,0 +1,233 @@
+"""Tests for postal-model optimal trees, including brute-force optimality."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TreeError
+from repro.gm.params import GMCostModel
+from repro.trees import (
+    PostalParams,
+    SpanningTree,
+    build_tree,
+    check_deadlock_ordering,
+    optimal_postal_tree,
+    postal_completion_time,
+    postal_params,
+    tree_stats,
+)
+
+
+def all_trees(n):
+    """Every labelled rooted tree on nodes 0..n-1 with root 0 (via Prüfer-
+    style parent vectors: node i>0 picks any parent < i or any node)."""
+    nodes = list(range(n))
+    for parents in product(*[nodes[:i] + nodes[i + 1 :] for i in range(1, n)]):
+        children = {k: [] for k in nodes}
+        ok = True
+        # Build and check acyclicity by walking up.
+        for child, parent in enumerate(parents, start=1):
+            children[parent].append(child)
+        # Detect cycles: every node must reach 0.
+        for node in range(1, n):
+            seen = set()
+            cur = node
+            while cur != 0:
+                if cur in seen:
+                    ok = False
+                    break
+                seen.add(cur)
+                cur = parents[cur - 1]
+            if not ok:
+                break
+        if ok:
+            yield SpanningTree(
+                root=0,
+                children={k: tuple(v) for k, v in children.items() if v},
+            )
+
+
+class TestPostalParams:
+    def test_validation(self):
+        with pytest.raises(TreeError):
+            PostalParams(l_ready=1.0, l_full=1.0, gap=0.0)
+        with pytest.raises(TreeError):
+            PostalParams(l_ready=5.0, l_full=1.0, gap=1.0)
+
+    def test_fanout_ratio(self):
+        p = PostalParams(l_ready=8.0, l_full=8.0, gap=1.0)
+        assert p.fanout_ratio == pytest.approx(8.0)
+
+    def test_small_message_high_ratio(self):
+        cost = GMCostModel()
+        p = postal_params(cost, 4, scheme="nic")
+        assert p.fanout_ratio > 3.0  # many replicas before child ready
+
+    def test_multi_packet_low_ratio(self):
+        # 16 KB: readiness after the first packet, but another replica
+        # costs four packet times -> ratio < 1 -> chains.
+        cost = GMCostModel()
+        p = postal_params(cost, 16384, scheme="nic")
+        assert p.fanout_ratio < 1.0
+
+    def test_single_packet_large_ratio_near_one(self):
+        # The paper's 2-4 KB dip: fanout ratio close to 1.
+        cost = GMCostModel()
+        p = postal_params(cost, 4096, scheme="nic")
+        assert 0.5 < p.fanout_ratio < 2.5
+
+    def test_host_scheme_ready_after_full(self):
+        cost = GMCostModel()
+        p = postal_params(cost, 1024, scheme="host")
+        # Store-and-forward: no readiness before full receipt.
+        assert p.l_ready >= p.l_full * 0.99
+
+    def test_unknown_scheme(self):
+        with pytest.raises(TreeError):
+            postal_params(GMCostModel(), 100, scheme="quantum")
+
+
+class TestGreedyConstruction:
+    def test_high_ratio_gives_flat_tree(self):
+        params = PostalParams(l_ready=100.0, l_full=100.0, gap=1.0)
+        tree = optimal_postal_tree(0, list(range(1, 9)), params)
+        assert tree.children_of(0) == tuple(range(1, 9))
+
+    def test_low_ratio_gives_chain(self):
+        params = PostalParams(l_ready=1.0, l_full=1.0, gap=100.0)
+        tree = optimal_postal_tree(0, list(range(1, 6)), params)
+        assert tree.max_depth == 5  # pure chain
+
+    def test_ratio_one_roughly_binomial_depth(self):
+        params = PostalParams(l_ready=1.0, l_full=1.0, gap=1.0)
+        tree = optimal_postal_tree(0, list(range(1, 16)), params)
+        # lam = 1: doubling per step -> depth ~= log2(16) = 4.
+        assert 3 <= tree.max_depth <= 5
+
+    def test_covers_all_nodes(self):
+        params = PostalParams(l_ready=3.0, l_full=3.0, gap=1.0)
+        tree = optimal_postal_tree(0, list(range(1, 40)), params)
+        assert sorted(tree.nodes) == list(range(40))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        l=st.floats(min_value=0.5, max_value=50.0),
+        g=st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_property_valid_and_ordered(self, n, l, g):
+        params = PostalParams(l_ready=l, l_full=l, gap=g)
+        tree = optimal_postal_tree(0, list(range(1, n)), params)
+        assert sorted(tree.nodes) == list(range(n))
+        check_deadlock_ordering(tree)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        l=st.floats(min_value=0.5, max_value=20.0),
+        g=st.floats(min_value=0.2, max_value=20.0),
+    )
+    def test_property_greedy_optimal_vs_bruteforce_n5(self, l, g):
+        """For the classical postal model the greedy completion time
+        matches the best over ALL rooted trees on 5 nodes."""
+        params = PostalParams(l_ready=l, l_full=l, gap=g)
+        greedy = optimal_postal_tree(0, [1, 2, 3, 4], params)
+        greedy_t = postal_completion_time(greedy, params)
+        best_t = min(
+            postal_completion_time(t, params) for t in all_trees(5)
+        )
+        assert greedy_t <= best_t + 1e-9
+
+    def test_completion_time_flat(self):
+        params = PostalParams(l_ready=5.0, l_full=5.0, gap=1.0)
+        tree = optimal_postal_tree(0, [1, 2, 3], params)
+        # Flat: last child send starts at 2*gap, completes at +l_full.
+        assert postal_completion_time(tree, params) == pytest.approx(7.0)
+
+    def test_completion_time_chain(self):
+        params = PostalParams(l_ready=1.0, l_full=2.0, gap=10.0)
+        tree = SpanningTree(root=0, children={0: (1,), 1: (2,)})
+        # 1 ready at 1, sends at 1; 2 full at 1+2=3.
+        assert postal_completion_time(tree, params) == pytest.approx(3.0)
+
+
+class TestBuildTree:
+    def test_destinations_sorted_and_deduped(self):
+        tree = build_tree(0, [5, 3, 3, 9, 0], shape="flat")
+        assert tree.children_of(0) == (3, 5, 9)
+
+    def test_optimal_requires_cost(self):
+        with pytest.raises(TreeError):
+            build_tree(0, [1, 2], shape="optimal")
+
+    def test_optimal_small_message_shallow(self):
+        cost = GMCostModel()
+        tree = build_tree(0, range(1, 16), shape="optimal", cost=cost, size=4)
+        binom = build_tree(0, range(1, 16), shape="binomial")
+        assert tree.max_depth < binom.max_depth
+
+    def test_optimal_16kb_deep(self):
+        cost = GMCostModel()
+        tree = build_tree(
+            0, range(1, 16), shape="optimal", cost=cost, size=16384
+        )
+        binom = build_tree(0, range(1, 16), shape="binomial")
+        assert tree.max_depth > binom.max_depth  # chain-like pipeline
+
+    def test_optimal_4kb_roughly_binomial(self):
+        # The paper's dip: near 4 KB the optimal tree "is not
+        # significantly different from the binomial tree".
+        cost = GMCostModel()
+        tree = build_tree(
+            0, range(1, 16), shape="optimal", cost=cost, size=4096
+        )
+        binom = build_tree(0, range(1, 16), shape="binomial")
+        assert abs(tree.max_depth - binom.max_depth) <= 1
+
+    def test_unknown_shape(self):
+        with pytest.raises(TreeError):
+            build_tree(0, [1], shape="spiral")
+
+    def test_deadlock_ordering_enforced_all_shapes(self):
+        for shape in ("flat", "chain", "binomial"):
+            tree = build_tree(7, [3, 12, 9, 1], shape=shape)
+            check_deadlock_ordering(tree)
+
+    def test_deadlock_ordering_violation_detected(self):
+        bad = SpanningTree(root=0, children={0: (5,), 5: (2,)})
+        with pytest.raises(TreeError):
+            check_deadlock_ordering(bad)
+
+    def test_root_child_may_be_smaller(self):
+        # "unless its parent is the root"
+        tree = SpanningTree(root=7, children={7: (1,), 1: (9,)})
+        check_deadlock_ordering(tree)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        root=st.integers(min_value=0, max_value=31),
+        members=st.sets(st.integers(min_value=0, max_value=31), min_size=2, max_size=20),
+        size=st.sampled_from([1, 256, 2048, 4096, 16384]),
+    )
+    def test_property_all_shapes_cover_and_order(self, root, members, size):
+        cost = GMCostModel()
+        dests = sorted(members - {root})
+        if not dests:
+            return
+        for shape in ("flat", "chain", "binomial", "optimal"):
+            tree = build_tree(
+                root, dests, shape=shape, cost=cost, size=size
+            )
+            assert sorted(tree.nodes) == sorted({root, *dests})
+            check_deadlock_ordering(tree)
+
+
+def test_fanout_shrinks_with_message_size():
+    cost = GMCostModel()
+    fanouts = []
+    for size in (4, 512, 4096, 16384):
+        tree = build_tree(0, range(1, 16), shape="optimal", cost=cost, size=size)
+        fanouts.append(tree_stats(tree).root_fanout)
+    assert fanouts[0] >= fanouts[1] >= fanouts[2] >= fanouts[3]
+    assert fanouts[0] > fanouts[3]

@@ -1,0 +1,142 @@
+"""Unit tests for the tree structure and reference shapes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TreeError
+from repro.trees import (
+    SpanningTree,
+    binomial_tree,
+    chain_tree,
+    flat_tree,
+    kary_tree,
+    tree_stats,
+)
+
+
+class TestSpanningTree:
+    def test_single_node(self):
+        tree = SpanningTree(root=0)
+        assert tree.nodes == [0]
+        assert tree.max_depth == 0
+        assert tree.leaves() == [0]
+
+    def test_parent_child_navigation(self):
+        tree = SpanningTree(root=0, children={0: (1, 2), 1: (3,)})
+        assert tree.parent_of(3) == 1
+        assert tree.parent_of(0) is None
+        assert tree.depth_of(3) == 2
+        assert sorted(tree.leaves()) == [2, 3]
+        assert tree.interior() == [1]
+
+    def test_bfs_order(self):
+        tree = SpanningTree(root=0, children={0: (1, 2), 1: (3,), 2: (4,)})
+        assert tree.nodes == [0, 1, 2, 3, 4]
+
+    def test_duplicate_child_rejected(self):
+        with pytest.raises(TreeError):
+            SpanningTree(root=0, children={0: (1, 2), 1: (2,)})
+
+    def test_unreachable_parent_rejected(self):
+        with pytest.raises(TreeError):
+            SpanningTree(root=0, children={0: (1,), 5: (6,)})
+
+    def test_subtree_nodes(self):
+        tree = SpanningTree(root=0, children={0: (1, 2), 1: (3, 4)})
+        assert sorted(tree.subtree_nodes(1)) == [1, 3, 4]
+
+    def test_edges(self):
+        tree = SpanningTree(root=0, children={0: (1,), 1: (2,)})
+        assert sorted(tree.edges()) == [(0, 1), (1, 2)]
+
+
+class TestFlat:
+    def test_shape(self):
+        tree = flat_tree(0, [1, 2, 3])
+        assert tree.children_of(0) == (1, 2, 3)
+        assert tree.max_depth == 1
+
+    def test_root_in_destinations_rejected(self):
+        with pytest.raises(TreeError):
+            flat_tree(0, [0, 1])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(TreeError):
+            flat_tree(0, [1, 1])
+
+
+class TestChain:
+    def test_shape(self):
+        tree = chain_tree(0, [1, 2, 3])
+        assert tree.max_depth == 3
+        assert tree.children_of(1) == (2,)
+
+
+class TestKary:
+    def test_binary(self):
+        tree = kary_tree(0, list(range(1, 7)), k=2)
+        assert tree.children_of(0) == (1, 2)
+        assert tree.children_of(1) == (3, 4)
+        assert tree.children_of(2) == (5, 6)
+
+    def test_k1_is_chain(self):
+        tree = kary_tree(0, [1, 2, 3], k=1)
+        assert tree.max_depth == 3
+
+    def test_bad_k(self):
+        with pytest.raises(TreeError):
+            kary_tree(0, [1], k=0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_covers_all(self, n, k):
+        tree = kary_tree(0, list(range(1, n + 1)), k=k)
+        assert sorted(tree.nodes) == list(range(n + 1))
+
+
+class TestBinomial:
+    def test_size_16_shape(self):
+        tree = binomial_tree(0, list(range(1, 16)))
+        # Root of a 16-node binomial tree has log2(16) = 4 children.
+        assert len(tree.children_of(0)) == 4
+        assert tree.max_depth == 4
+
+    def test_size_5(self):
+        tree = binomial_tree(0, [1, 2, 3, 4])
+        assert sorted(tree.nodes) == [0, 1, 2, 3, 4]
+        # relrank 1,2,4 are children of 0; 3 is child of 2.
+        assert sorted(tree.children_of(0)) == [1, 2, 4]
+        assert tree.children_of(2) == (3,)
+
+    def test_largest_subtree_sent_first(self):
+        tree = binomial_tree(0, list(range(1, 16)))
+        kids = tree.children_of(0)
+        sizes = [len(tree.subtree_nodes(c)) for c in kids]
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(n=st.integers(min_value=1, max_value=100))
+    def test_depth_is_floor_log2(self, n):
+        # A binomial tree over p nodes has depth floor(log2(p)).
+        tree = binomial_tree(0, list(range(1, n + 1)))
+        assert tree.max_depth == (n + 1).bit_length() - 1
+
+    @given(n=st.integers(min_value=1, max_value=100))
+    def test_covers_all(self, n):
+        tree = binomial_tree(0, list(range(1, n + 1)))
+        assert sorted(tree.nodes) == list(range(n + 1))
+
+    def test_arbitrary_ids(self):
+        tree = binomial_tree(10, [20, 30, 40])
+        assert sorted(tree.nodes) == [10, 20, 30, 40]
+
+
+def test_tree_stats():
+    tree = binomial_tree(0, list(range(1, 8)))
+    stats = tree_stats(tree)
+    assert stats.size == 8
+    assert stats.depth == 3
+    assert stats.root_fanout == 3
+    assert stats.n_leaves + stats.n_forwarders + 1 == 8
