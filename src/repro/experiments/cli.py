@@ -11,16 +11,22 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 import time
 
 from repro.experiments import FIGURES
+from repro.experiments.parallel import default_jobs
 
 __all__ = ["main"]
 
 
-def run_figure(figure_id: str, quick: bool):
+def run_figure(figure_id: str, quick: bool, jobs: int | None = 1):
     module = importlib.import_module(FIGURES[figure_id])
+    # Sweep figures fan cells across workers; fig1/fig2 are single probes
+    # with no jobs parameter.
+    if "jobs" in inspect.signature(module.run).parameters:
+        return module.run(quick=quick, jobs=jobs)
     return module.run(quick=quick)
 
 
@@ -43,7 +49,15 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", default=None,
         help="also append rendered results to this markdown file",
     )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep figures "
+        "(default: all CPUs; 1 = serial in-process)",
+    )
     args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        parser.error("--jobs must be >= 1")
     targets = sorted(FIGURES) if args.all else (args.figure or [])
     if not targets:
         parser.error("pick --all or at least one --figure")
@@ -51,7 +65,7 @@ def main(argv: list[str] | None = None) -> int:
     for figure_id in targets:
         started = time.time()
         print(f"=== {figure_id} ===", flush=True)
-        result = run_figure(figure_id, quick=args.quick)
+        result = run_figure(figure_id, quick=args.quick, jobs=jobs)
         text = result.render()
         if "table" in result.extra:
             text += "\n\n" + result.extra["table"]

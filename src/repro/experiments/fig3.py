@@ -10,6 +10,7 @@ at 16 KB.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import PAPER_SIZES, measure_multisend
 from repro.gm.params import GMCostModel
@@ -19,10 +20,20 @@ __all__ = ["run", "DEST_COUNTS"]
 DEST_COUNTS = (3, 4, 8)
 
 
+def _cell(
+    k: int, size: int, iterations: int, cost: GMCostModel
+) -> tuple[float, float]:
+    """One (destination count, message size) point: hb and nb latency."""
+    hb = measure_multisend(k, size, "hb", iterations=iterations, cost=cost)
+    nb = measure_multisend(k, size, "nb", iterations=iterations, cost=cost)
+    return hb, nb
+
+
 def run(
     quick: bool = False,
     cost: GMCostModel | None = None,
     sizes: list[int] | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
     sizes = sizes or (
@@ -40,15 +51,20 @@ def run(
         for k in DEST_COUNTS
     }
     imp = {k: Series(label=f"factor-{k}dest") for k in DEST_COUNTS}
-    for size in sizes:
-        for k in DEST_COUNTS:
-            hb = measure_multisend(k, size, "hb", iterations=iterations,
-                                   cost=cost)
-            nb = measure_multisend(k, size, "nb", iterations=iterations,
-                                   cost=cost)
-            lat[("hb", k)].add(size, hb)
-            lat[("nb", k)].add(size, nb)
-            imp[k].add(size, hb / nb)
+    grid = [(size, k) for size in sizes for k in DEST_COUNTS]
+    cells = [
+        SweepCell(
+            figure="fig3",
+            fn=_cell,
+            args=(k, size, iterations, cost),
+            label=f"fig3[k={k},size={size}]",
+        )
+        for size, k in grid
+    ]
+    for (size, k), (hb, nb) in zip(grid, run_cells(cells, jobs=jobs)):
+        lat[("hb", k)].add(size, hb)
+        lat[("nb", k)].add(size, nb)
+        imp[k].add(size, hb / nb)
     result.series = [lat[("hb", k)] for k in DEST_COUNTS]
     result.series += [lat[("nb", k)] for k in DEST_COUNTS]
     result.series += [imp[k] for k in DEST_COUNTS]

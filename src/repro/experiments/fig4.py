@@ -7,6 +7,7 @@ largest eager message) from the final-copy cost.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import MPI_SIZES, measure_mpi_bcast
 from repro.gm.params import GMCostModel
@@ -16,11 +17,21 @@ __all__ = ["run", "NODE_COUNTS"]
 NODE_COUNTS = (4, 8, 16)
 
 
+def _cell(
+    n: int, size: int, iterations: int, cost: GMCostModel
+) -> tuple[float, float]:
+    """One (rank count, message size) point: hb and nb bcast latency."""
+    hb = measure_mpi_bcast(n, size, nic=False, iterations=iterations, cost=cost)
+    nb = measure_mpi_bcast(n, size, nic=True, iterations=iterations, cost=cost)
+    return hb, nb
+
+
 def run(
     quick: bool = False,
     cost: GMCostModel | None = None,
     sizes: list[int] | None = None,
     node_counts: tuple[int, ...] = NODE_COUNTS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
     sizes = sizes or ([4, 512, 8192, 16287] if quick else MPI_SIZES)
@@ -35,17 +46,20 @@ def run(
         for n in node_counts
     }
     imp = {n: Series(label=f"factor-{n}") for n in node_counts}
-    for size in sizes:
-        for n in node_counts:
-            hb = measure_mpi_bcast(
-                n, size, nic=False, iterations=iterations, cost=cost
-            )
-            nb = measure_mpi_bcast(
-                n, size, nic=True, iterations=iterations, cost=cost
-            )
-            lat[("HB", n)].add(size, hb)
-            lat[("NB", n)].add(size, nb)
-            imp[n].add(size, hb / nb)
+    grid = [(size, n) for size in sizes for n in node_counts]
+    cells = [
+        SweepCell(
+            figure="fig4",
+            fn=_cell,
+            args=(n, size, iterations, cost),
+            label=f"fig4[n={n},size={size}]",
+        )
+        for size, n in grid
+    ]
+    for (size, n), (hb, nb) in zip(grid, run_cells(cells, jobs=jobs)):
+        lat[("HB", n)].add(size, hb)
+        lat[("NB", n)].add(size, nb)
+        imp[n].add(size, hb / nb)
     result.series = [lat[("HB", n)] for n in node_counts]
     result.series += [lat[("NB", n)] for n in node_counts]
     result.series += [imp[n] for n in node_counts]

@@ -8,6 +8,7 @@ the pipelining benefit).
 
 from __future__ import annotations
 
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import PAPER_SIZES, measure_gm_multicast
 from repro.gm.params import GMCostModel
@@ -17,11 +18,21 @@ __all__ = ["run", "NODE_COUNTS"]
 NODE_COUNTS = (4, 8, 16)
 
 
+def _cell(
+    n: int, size: int, iterations: int, cost: GMCostModel
+) -> tuple[float, float]:
+    """One (system size, message size) point: hb and nb latency."""
+    hb = measure_gm_multicast(n, size, "hb", iterations=iterations, cost=cost)
+    nb = measure_gm_multicast(n, size, "nb", iterations=iterations, cost=cost)
+    return hb.latency, nb.latency
+
+
 def run(
     quick: bool = False,
     cost: GMCostModel | None = None,
     sizes: list[int] | None = None,
     node_counts: tuple[int, ...] = NODE_COUNTS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
     sizes = sizes or (
@@ -39,17 +50,20 @@ def run(
         for n in node_counts
     }
     imp = {n: Series(label=f"factor-{n}") for n in node_counts}
-    for size in sizes:
-        for n in node_counts:
-            hb = measure_gm_multicast(
-                n, size, "hb", iterations=iterations, cost=cost
-            )
-            nb = measure_gm_multicast(
-                n, size, "nb", iterations=iterations, cost=cost
-            )
-            lat[("hb", n)].add(size, hb.latency)
-            lat[("nb", n)].add(size, nb.latency)
-            imp[n].add(size, hb.latency / nb.latency)
+    grid = [(size, n) for size in sizes for n in node_counts]
+    cells = [
+        SweepCell(
+            figure="fig5",
+            fn=_cell,
+            args=(n, size, iterations, cost),
+            label=f"fig5[n={n},size={size}]",
+        )
+        for size, n in grid
+    ]
+    for (size, n), (hb_lat, nb_lat) in zip(grid, run_cells(cells, jobs=jobs)):
+        lat[("hb", n)].add(size, hb_lat)
+        lat[("nb", n)].add(size, nb_lat)
+        imp[n].add(size, hb_lat / nb_lat)
     result.series = [lat[("hb", n)] for n in node_counts]
     result.series += [lat[("nb", n)] for n in node_counts]
     result.series += [imp[n] for n in node_counts]

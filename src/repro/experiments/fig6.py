@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.experiments.report import FigureResult, Series
 from repro.gm.params import GMCostModel
 from repro.mpi.comm import Communicator
@@ -40,11 +41,21 @@ def skew_sweep_point(
     )
 
 
+def _cell(
+    n: int, size: int, max_skew: float, iterations: int, cost: GMCostModel
+):
+    """One (message size, max skew) point: hb and nb skew results."""
+    hb = skew_sweep_point(n, False, max_skew, size, iterations, cost)
+    nb = skew_sweep_point(n, True, max_skew, size, iterations, cost)
+    return hb, nb
+
+
 def run(
     quick: bool = False,
     cost: GMCostModel | None = None,
     sizes: tuple[int, ...] = SMALL_SIZES,
     n: int = 16,
+    jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
     max_skews = (0.0, 800.0, 3200.0) if quick else MAX_SKEWS
@@ -61,17 +72,24 @@ def run(
     }
     imp = {size: Series(label=f"factor-{size}B") for size in sizes}
     factor_at_400 = []
-    for size in sizes:
-        for max_skew in max_skews:
-            hb = skew_sweep_point(n, False, max_skew, size, iterations, cost)
-            nb = skew_sweep_point(n, True, max_skew, size, iterations, cost)
-            x = round(hb.mean_applied_skew, 1)
-            cpu[("HB", size)].add(x, hb.mean_bcast_cpu_time)
-            cpu[("NB", size)].add(x, nb.mean_bcast_cpu_time)
-            factor = hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
-            imp[size].add(x, factor)
-            if max_skew == 3200.0:  # mean applied ~400 µs
-                factor_at_400.append(factor)
+    grid = [(size, max_skew) for size in sizes for max_skew in max_skews]
+    cells = [
+        SweepCell(
+            figure="fig6",
+            fn=_cell,
+            args=(n, size, max_skew, iterations, cost),
+            label=f"fig6[size={size},skew={max_skew:g}]",
+        )
+        for size, max_skew in grid
+    ]
+    for (size, max_skew), (hb, nb) in zip(grid, run_cells(cells, jobs=jobs)):
+        x = round(hb.mean_applied_skew, 1)
+        cpu[("HB", size)].add(x, hb.mean_bcast_cpu_time)
+        cpu[("NB", size)].add(x, nb.mean_bcast_cpu_time)
+        factor = hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
+        imp[size].add(x, factor)
+        if max_skew == 3200.0:  # mean applied ~400 µs
+            factor_at_400.append(factor)
     result.series = [cpu[("HB", s)] for s in sizes]
     result.series += [cpu[("NB", s)] for s in sizes]
     result.series += [imp[s] for s in sizes]

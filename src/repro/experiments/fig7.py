@@ -9,6 +9,7 @@ NIC-based multicast for the reduced effects of process skew."
 from __future__ import annotations
 
 from repro.experiments.fig6 import skew_sweep_point
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.experiments.report import FigureResult, Series
 from repro.gm.params import GMCostModel
 
@@ -20,10 +21,18 @@ NODE_COUNTS = (4, 8, 12, 16)
 MAX_SKEW = 3200.0
 
 
+def _cell(n: int, size: int, iterations: int, cost: GMCostModel) -> float:
+    """One (system size, message size) point: the improvement factor."""
+    hb = skew_sweep_point(n, False, MAX_SKEW, size, iterations, cost)
+    nb = skew_sweep_point(n, True, MAX_SKEW, size, iterations, cost)
+    return hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
+
+
 def run(
     quick: bool = False,
     cost: GMCostModel | None = None,
     node_counts: tuple[int, ...] = NODE_COUNTS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
     iterations = 10 if quick else 30
@@ -33,12 +42,21 @@ def run(
         title="Skew-tolerance improvement factor vs system size "
         "(~400 µs mean skew)",
     )
+    grid = [(size, n) for size in SIZES for n in counts]
+    cells = [
+        SweepCell(
+            figure="fig7",
+            fn=_cell,
+            args=(n, size, iterations, cost),
+            label=f"fig7[n={n},size={size}]",
+        )
+        for size, n in grid
+    ]
+    factors = dict(zip(grid, run_cells(cells, jobs=jobs)))
     for size in SIZES:
         series = Series(label=f"factor-{size}B")
         for n in counts:
-            hb = skew_sweep_point(n, False, MAX_SKEW, size, iterations, cost)
-            nb = skew_sweep_point(n, True, MAX_SKEW, size, iterations, cost)
-            series.add(n, hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time)
+            series.add(n, factors[(size, n)])
         result.series.append(series)
     for series in result.series:
         first, last = series.ys()[0], series.ys()[-1]

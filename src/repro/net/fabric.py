@@ -45,6 +45,11 @@ class Network:
         self._sinks: dict[int, Callable[[Packet], None]] = {}
         self.delivered = 0
         self.dropped = 0
+        # Per-packet fast path: routes are static, so hold direct
+        # references here (one dict probe per traversal) and fold the
+        # bandwidth division into a multiply.
+        self._routes: dict[tuple[int, int], list] = {}
+        self._inv_bandwidth = 1.0 / topology.bandwidth
 
     def attach(self, nic_id: int, sink: Callable[[Packet], None]) -> None:
         """Register NIC *nic_id*'s receive handler."""
@@ -77,8 +82,11 @@ class Network:
         packet: Packet,
         on_injected: Callable[[Packet], None] | None = None,
     ) -> Generator[Any, Any, None]:
-        links = self.topology.route(packet.src, packet.dst)
-        ser = packet.wire_size / self.topology.bandwidth
+        key = (packet.src, packet.dst)
+        links = self._routes.get(key)
+        if links is None:
+            links = self._routes[key] = self.topology.route(*key)
+        ser = packet.wire_size * self._inv_bandwidth
         for hop, link in enumerate(links):
             claim = link.claim_head()
             yield claim
@@ -97,30 +105,33 @@ class Network:
         yield self.sim.timeout(ser)
         if self.loss.should_drop(packet, self.sim.now):
             self.dropped += 1
+            if self.sim.trace.enabled:
+                self.sim.record(
+                    "network",
+                    "pkt_drop",
+                    uid=packet.uid,
+                    src=packet.src,
+                    dst=packet.dst,
+                    seq=packet.header.seq,
+                    ptype=packet.header.ptype.value,
+                )
+            return
+        self.delivered += 1
+        if self.sim.trace.enabled:
             self.sim.record(
                 "network",
-                "pkt_drop",
+                "pkt_deliver",
                 uid=packet.uid,
                 src=packet.src,
                 dst=packet.dst,
                 seq=packet.header.seq,
                 ptype=packet.header.ptype.value,
             )
-            return
-        self.delivered += 1
-        self.sim.record(
-            "network",
-            "pkt_deliver",
-            uid=packet.uid,
-            src=packet.src,
-            dst=packet.dst,
-            seq=packet.header.seq,
-            ptype=packet.header.ptype.value,
-        )
         self._sinks[packet.dst](packet)
 
     def min_latency(self, src: int, dst: int, wire_size: int) -> float:
         """Uncontended wire time for a packet of *wire_size* bytes."""
-        links = self.topology.route(src, dst)
-        ser = wire_size / self.topology.bandwidth
-        return sum(l.latency for l in links) + ser
+        return (
+            self.topology.route_latency(src, dst)
+            + wire_size * self._inv_bandwidth
+        )

@@ -7,7 +7,7 @@ pipelines, so back-to-back packets overlap their flight times.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING
 
 from repro.sim.events import SimEvent
 from repro.sim.resources import Resource
@@ -72,15 +72,17 @@ class Link:
     def hold_for(self, claim: SimEvent, duration: float) -> None:
         """Keep the channel occupied for *duration* µs, then release.
 
-        Runs in the background so the packet head can progress to the next
-        hop while the tail is still streaming through this link.
+        Scheduled in the background so the packet head can progress to the
+        next hop while the tail is still streaming through this link.  This
+        runs once per packet per hop, so it uses a single scheduled
+        callback rather than spawning a release process (which would cost a
+        boot event, a timeout event, and generator machinery per hop).
         """
-
-        def _release() -> Generator[SimEvent, None, None]:
-            yield self.sim.timeout(duration)
-            self._channel.release(claim)  # type: ignore[arg-type]
-
-        self.sim.process(_release(), name=f"{self.name}.hold")
+        channel = self._channel
+        self.sim.call_at(
+            self.sim.now + duration,
+            lambda: channel.release(claim),  # type: ignore[arg-type]
+        )
 
     def account(self, packet: "Packet") -> None:
         self.bytes_carried += packet.wire_size

@@ -58,6 +58,7 @@ class Topology:
         #: directed links keyed by (graph-node, graph-node)
         self._links: dict[tuple, Link] = {}
         self._route_cache: dict[tuple[int, int], list[Link]] = {}
+        self._latency_cache: dict[tuple[int, int], float] = {}
         for i in range(n_nodes):
             self.graph.add_node((_NIC, i))
 
@@ -133,6 +134,20 @@ class Topology:
         links = [self._links[(u, v)] for u, v in zip(nodes, nodes[1:])]
         self._route_cache[key] = links
         return links
+
+    def route_latency(self, src: int, dst: int) -> float:
+        """Summed head latency of the src→dst route, memoized.
+
+        The per-pair sum is static (source routes never change), so hot
+        paths such as :meth:`Network.min_latency` avoid re-walking the
+        link list per packet.
+        """
+        key = (src, dst)
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            cached = sum(link.latency for link in self.route(src, dst))
+            self._latency_cache[key] = cached
+        return cached
 
     def hops(self, src: int, dst: int) -> int:
         """Number of links on the src→dst route."""

@@ -1,0 +1,10 @@
+"""Performance measurement: kernel counters and the benchmark harness.
+
+``python -m repro.perf`` runs :mod:`repro.perf.bench_kernel` and writes
+``BENCH_kernel.json``.  Only the counters are imported eagerly — the
+benchmark pulls in the experiment stack and stays behind ``__main__``.
+"""
+
+from repro.perf.counters import KERNEL_COUNTERS, KernelCounters
+
+__all__ = ["KERNEL_COUNTERS", "KernelCounters"]

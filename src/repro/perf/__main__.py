@@ -1,0 +1,7 @@
+"""``python -m repro.perf`` entry point."""
+
+import sys
+
+from repro.perf.bench_kernel import main
+
+sys.exit(main())

@@ -1,0 +1,156 @@
+"""Benchmark harness: kernel events/sec and per-figure sweep timing.
+
+Two measurements back the performance claims in ``docs/performance.md``:
+
+* **Kernel microbenchmark** — a tight timeout-pump process measures raw
+  events/sec through ``Simulator.step`` with no protocol stack on top.
+* **Figure cells** — each sweep figure's ``--quick`` grid is run twice,
+  serially (``jobs=1``) and fanned across all CPUs, with wall-clock,
+  kernel events, events/sec, and a byte-identity check between the two
+  rendered tables.
+
+Results land in ``BENCH_kernel.json`` (at the current directory — run
+from the repo root).  Usage::
+
+    python -m repro.perf                 # full quick-grid benchmark
+    python -m repro.perf --smoke         # seconds-long harness check
+    python -m repro.perf --jobs 8 --figures fig5 fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import time
+from typing import Any, Generator, Sequence
+
+from repro.experiments import FIGURES
+from repro.experiments.parallel import default_jobs
+from repro.perf.counters import KERNEL_COUNTERS
+
+__all__ = ["bench_event_loop", "bench_figure", "run_bench", "main"]
+
+#: Figures with parallelizable sweep grids (fig1/fig2 are single probes).
+SWEEP_FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7")
+SMOKE_FIGURES = ("fig3",)
+DEFAULT_OUTPUT = "BENCH_kernel.json"
+
+
+def bench_event_loop(n_events: int = 200_000) -> dict[str, Any]:
+    """Raw kernel throughput: a process pumping back-to-back timeouts."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def pump() -> Generator:
+        for _ in range(n_events):
+            yield sim.timeout(1.0)
+
+    sim.process(pump())
+    KERNEL_COUNTERS.reset()
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    events = KERNEL_COUNTERS.events
+    return {
+        "scheduled_timeouts": n_events,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+    }
+
+
+def bench_figure(
+    figure_id: str, jobs: int, quick: bool = True
+) -> dict[str, Any]:
+    """Time one figure's sweep serially and across *jobs* workers."""
+    module = importlib.import_module(FIGURES[figure_id])
+
+    KERNEL_COUNTERS.reset()
+    started = time.perf_counter()
+    serial = module.run(quick=quick, jobs=1)
+    serial_s = time.perf_counter() - started
+    events = KERNEL_COUNTERS.events
+
+    started = time.perf_counter()
+    parallel = module.run(quick=quick, jobs=jobs)
+    parallel_s = time.perf_counter() - started
+
+    return {
+        "jobs": jobs,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s > 0 else None,
+        "events": events,
+        "events_per_sec": round(events / serial_s) if serial_s > 0 else None,
+        "outputs_identical": serial.table() == parallel.table(),
+    }
+
+
+def run_bench(
+    figures: Sequence[str] = SWEEP_FIGURES,
+    jobs: int | None = None,
+    quick: bool = True,
+    loop_events: int = 200_000,
+) -> dict[str, Any]:
+    """Run the full benchmark and return the report dict."""
+    jobs = jobs if jobs is not None else default_jobs()
+    report: dict[str, Any] = {
+        "benchmark": "repro.perf.bench_kernel",
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "quick": quick,
+        "kernel": bench_event_loop(loop_events),
+        "figures": {},
+    }
+    for figure_id in figures:
+        report["figures"][figure_id] = bench_figure(figure_id, jobs, quick)
+    walls = report["figures"].values()
+    report["totals"] = {
+        "serial_wall_s": round(sum(f["serial_wall_s"] for f in walls), 3),
+        "parallel_wall_s": round(
+            sum(f["parallel_wall_s"] for f in walls), 3
+        ),
+        "all_outputs_identical": all(
+            f["outputs_identical"] for f in walls
+        ),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Benchmark the simulation kernel and figure sweeps.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="minimal run proving the harness works (one figure, "
+        "small event loop)",
+    )
+    parser.add_argument(
+        "--figures", nargs="+", choices=SWEEP_FIGURES, default=None,
+        help=f"figures to benchmark (default: {' '.join(SWEEP_FIGURES)})",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="parallel worker count (default: all CPUs)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=DEFAULT_OUTPUT,
+        help=f"report path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    figures = args.figures or (SMOKE_FIGURES if args.smoke else SWEEP_FIGURES)
+    loop_events = 20_000 if args.smoke else 200_000
+    report = run_bench(
+        figures=figures, jobs=args.jobs, loop_events=loop_events
+    )
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.output}")
+    return 0

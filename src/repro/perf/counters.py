@@ -1,0 +1,43 @@
+"""Lightweight kernel performance counters.
+
+The simulation engine increments these on its hot path (one integer add
+per processed event), so any harness — ``repro.perf.bench_kernel``, a
+test, or an ad-hoc script — can compute events/sec around an arbitrary
+workload without instrumenting every ``Simulator`` it creates:
+
+    KERNEL_COUNTERS.reset()
+    run_workload()
+    rate = KERNEL_COUNTERS.events / wall_seconds
+
+Counters are per-process: work fanned out by
+:class:`repro.experiments.parallel.SweepExecutor` accumulates in the
+worker processes, not the parent.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KernelCounters", "KERNEL_COUNTERS"]
+
+
+class KernelCounters:
+    """Process-global tallies maintained by the simulation kernel."""
+
+    __slots__ = ("events", "simulators")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.simulators = 0
+
+    def reset(self) -> None:
+        self.events = 0
+        self.simulators = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"events": self.events, "simulators": self.simulators}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelCounters events={self.events} sims={self.simulators}>"
+
+
+#: The counters the engine increments.  Reset before a measured region.
+KERNEL_COUNTERS = KernelCounters()

@@ -6,6 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, Callable, Generator
 
+from repro.perf.counters import KERNEL_COUNTERS
 from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
@@ -46,6 +47,9 @@ class Simulator:
         self._rngs = RngRegistry(seed)
         self.seed = seed
         self.trace = Tracer(enabled=trace)
+        #: Events processed by :meth:`step` over this simulator's lifetime.
+        self.events_processed = 0
+        KERNEL_COUNTERS.simulators += 1
 
     # -- clock & introspection -------------------------------------------
     @property
@@ -89,7 +93,8 @@ class Simulator:
 
     def record(self, component: str, category: str, **fields: Any) -> None:
         """Append a trace record at the current time (no-op if disabled)."""
-        self.trace.record(self._now, component, category, fields)
+        if self.trace.enabled:
+            self.trace.record(self._now, component, category, fields)
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
@@ -103,8 +108,14 @@ class Simulator:
         """Run ``fn()`` at absolute time *when* (>= now)."""
         if when < self._now:
             raise ValueError(f"call_at({when}) is in the past (now={self._now})")
-        ev = Timeout(self, when - self._now)
-        ev.add_callback(lambda _ev: fn())
+        # A pre-triggered bare event pushed straight onto the heap at the
+        # absolute time: no Timeout wrapper, no relative-delay round trip,
+        # and the caller's priority is honoured.
+        ev = SimEvent(self)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _ev: fn())  # type: ignore[union-attr]
+        heapq.heappush(self._heap, (when, priority, next(self._seq), ev))
         return ev
 
     # -- run loop ----------------------------------------------------------
@@ -114,6 +125,8 @@ class Simulator:
             raise EmptySchedule
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
+        KERNEL_COUNTERS.events += 1
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
         for cb in callbacks:

@@ -190,11 +190,24 @@ class Condition(SimEvent):
             return
         if not event.ok:
             self.fail(event.value)
+            self._detach()
             return
         self._count += 1
         self._results[event] = event.value
         if self._satisfied(self._count, len(self.events)):
             self.succeed(dict(self._results))
+            self._detach()
+
+    def _detach(self) -> None:
+        """Drop ``_check`` from still-pending sub-events once decided.
+
+        Without this, an ``AnyOf`` over a long-lived event (a watchdog
+        timer, a port's close event) leaves a dead callback — and a
+        reference to this condition — on every loser for the rest of the
+        loser's life.
+        """
+        for ev in self.events:
+            ev.remove_callback(self._check)
 
 
 class AnyOf(Condition):

@@ -1,0 +1,141 @@
+"""Determinism and ordering guarantees of the parallel sweep executor.
+
+The headline requirement: fanning sweep cells across worker processes
+must produce *identical* numbers to running them serially — same seeds,
+same event orderings, same floats.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.experiments import fig3
+from repro.experiments.parallel import (
+    SweepCell,
+    SweepExecutor,
+    default_jobs,
+    run_cells,
+)
+from repro.experiments.runner import measure_gm_multicast
+from repro.gm.params import GMCostModel
+from repro.mcast.manager import install_group
+from repro.trees import build_tree
+
+
+def _square(i):
+    # Sleep longer for earlier cells so pool completion order inverts
+    # submission order — result order must not care.
+    time.sleep(0.01 * (3 - min(i, 3)))
+    return i * i
+
+
+def _measure_cell(n, size, seed):
+    m = measure_gm_multicast(n, size, "nb", iterations=3, seed=seed)
+    return m.latency, sorted(m.per_dest_delivery.items()), m.ack_trip
+
+
+def _traced_multicast(n=8, size=256, seed=0):
+    """One traced NIC-based multicast; returns the full record sequence."""
+    cost = GMCostModel()
+    cluster = Cluster(
+        ClusterConfig(n_nodes=n, cost=cost, seed=seed, trace=True)
+    )
+    dests = list(range(1, n))
+    tree = build_tree(0, dests, shape="optimal", cost=cost, size=size)
+    install_group(cluster, 1, tree)
+
+    def root():
+        handle = yield from cluster.node(0).mcast.multicast_send(
+            cluster.port(0), 1, size
+        )
+        yield handle.done
+
+    def member(i):
+        port = cluster.port(i)
+        yield from port.receive()
+        yield from port.provide_receive_buffer()
+
+    procs = [cluster.spawn(root())]
+    procs += [cluster.spawn(member(i)) for i in dests]
+    cluster.run(until=cluster.sim.all_of(procs))
+    # Packet uids and message ids come from process-global allocators, so
+    # their absolute values depend on what ran earlier in the process;
+    # renumber by first appearance to compare the sequences themselves.
+    renumber = {"uid": {}, "msg": {}}
+    out = []
+    for rec in cluster.sim.trace:
+        fields = dict(rec.fields)
+        for key, seen in renumber.items():
+            if key in fields:
+                fields[key] = seen.setdefault(fields[key], len(seen))
+        out.append(
+            (
+                rec.time,
+                rec.component,
+                rec.category,
+                tuple(sorted((k, repr(v)) for k, v in fields.items())),
+            )
+        )
+    return out
+
+
+def test_results_in_submission_order():
+    cells = [
+        SweepCell(figure="t", fn=_square, args=(i,), label=f"sq{i}")
+        for i in range(6)
+    ]
+    ex = SweepExecutor(jobs=4)
+    assert ex.run(cells) == [i * i for i in range(6)]
+    assert [label for label, _ in ex.timings] == [f"sq{i}" for i in range(6)]
+    assert all(wall >= 0 for _, wall in ex.timings)
+
+
+def test_jobs_one_runs_in_process():
+    cells = [SweepCell(figure="t", fn=_square, args=(i,)) for i in range(3)]
+    assert SweepExecutor(jobs=1).run(cells) == [0, 1, 4]
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        SweepExecutor(jobs=0)
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+def test_parallel_measurements_match_serial():
+    """Same seed => identical results via SweepExecutor(jobs=4) or direct."""
+    points = [(4, 64), (4, 1024), (8, 256)]
+    serial = [_measure_cell(n, size, seed=0) for n, size in points]
+    cells = [
+        SweepCell(figure="fig5", fn=_measure_cell, args=(n, size, 0))
+        for n, size in points
+    ]
+    parallel = SweepExecutor(jobs=4).run(cells)
+    assert parallel == serial
+
+
+def test_trace_sequence_identical_across_workers():
+    """A traced 8-node multicast replays record-for-record in a worker."""
+    serial = _traced_multicast()
+    assert serial, "expected a non-empty trace"
+    (via_pool,) = SweepExecutor(jobs=2).run(
+        [SweepCell(figure="trace", fn=_traced_multicast)]
+    )
+    assert via_pool == serial
+
+
+def test_fig3_tables_identical_serial_vs_parallel():
+    sizes = [1, 512]
+    serial = fig3.run(quick=True, sizes=sizes, jobs=1)
+    parallel = fig3.run(quick=True, sizes=sizes, jobs=2)
+    assert serial.table() == parallel.table()
+
+
+def test_run_cells_helper():
+    assert run_cells(
+        [SweepCell(figure="t", fn=_square, args=(5,))], jobs=1
+    ) == [25]

@@ -1,0 +1,41 @@
+"""Smoke tests for the perf counters and the benchmark harness."""
+
+import json
+
+from repro.perf import KERNEL_COUNTERS
+from repro.perf.bench_kernel import bench_event_loop, main
+from repro.sim import Simulator
+
+
+def test_kernel_counters_track_engine():
+    KERNEL_COUNTERS.reset()
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.timeout(2.0)
+    sim.run()
+    snap = KERNEL_COUNTERS.snapshot()
+    assert snap["simulators"] >= 1
+    assert snap["events"] >= 2
+
+
+def test_bench_event_loop_reports_rate():
+    report = bench_event_loop(2_000)
+    assert report["events"] >= 2_000
+    assert report["events_per_sec"] > 0
+    assert report["wall_s"] > 0
+
+
+def test_smoke_benchmark_writes_valid_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_kernel.json"
+    assert main(["--smoke", "-o", str(out)]) == 0
+    capsys.readouterr()  # swallow the printed report
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "repro.perf.bench_kernel"
+    assert report["cpu_count"] >= 1
+    assert report["kernel"]["events_per_sec"] > 0
+    for entry in report["figures"].values():
+        assert entry["serial_wall_s"] > 0
+        assert entry["parallel_wall_s"] > 0
+        assert entry["events_per_sec"] > 0
+        assert entry["outputs_identical"] is True
+    assert report["totals"]["all_outputs_identical"] is True
