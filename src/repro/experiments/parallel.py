@@ -21,6 +21,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -112,15 +113,27 @@ class SweepExecutor:
     def _run_pool(self, ordered: Sequence[SweepCell]) -> list[CellResult]:
         workers = min(self.jobs, len(ordered))
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError, RuntimeError):
+            # No usable multiprocessing primitives here (restricted
+            # sandboxes without /dev/shm, missing fork) — the sweep still
+            # has to produce numbers.
+            return [_run_cell(cell) for cell in ordered]
+        with pool:
+            try:
                 futures = [pool.submit(_run_cell, cell) for cell in ordered]
                 # Collect in submission order: determinism over
                 # completion-order throughput tricks.
                 return [future.result() for future in futures]
-        except (OSError, PermissionError, pickle.PicklingError, RuntimeError):
-            # No usable multiprocessing primitives here (or a cell that
-            # would not pickle) — the sweep still has to produce numbers.
-            return [_run_cell(cell) for cell in ordered]
+            except (BrokenProcessPool, pickle.PicklingError):
+                # Workers died under us or a cell would not pickle across
+                # the process boundary.  Only those infrastructure
+                # failures degrade to in-process execution; an exception
+                # raised *by a cell* comes out of ``future.result()`` with
+                # its original type and propagates to the caller — a
+                # failing simulation point must fail the sweep, not
+                # silently re-run.
+                return [_run_cell(cell) for cell in ordered]
 
 
 def run_cells(

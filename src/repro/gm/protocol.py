@@ -34,7 +34,7 @@ from repro.net.packet import (
 )
 from repro.nic.descriptor import PacketDescriptor
 from repro.nic.lanai import NIC, TX_PRIO_ACK, TX_PRIO_DATA
-from repro.sim.resources import Store
+from repro.sim.resources import EMPTY, Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     pass
@@ -122,8 +122,11 @@ class GMEngine:
         nic.sim.process(self._staging_loop(), name=f"{nic.name}.stager")
 
     def _staging_loop(self) -> Generator:
+        queue = self._stage_queue
         while True:
-            job = yield self._stage_queue.get()
+            job = queue.try_get()
+            if job is EMPTY:
+                job = yield queue.get()
             yield from job()
 
     def stage(self, job) -> None:

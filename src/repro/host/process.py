@@ -46,7 +46,11 @@ class Host:
             raise ValueError(f"negative compute duration {duration}")
         if duration == 0:
             return
-        yield from self.cpu.use(duration)
+        ev = self.cpu.use_fast(duration)
+        if ev is None:
+            yield from self.cpu.use(duration)
+        else:
+            yield ev
         self.compute_time += duration
 
     def charge_blocked(self, duration: float) -> None:

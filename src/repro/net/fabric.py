@@ -88,15 +88,18 @@ class Network:
             links = self._routes[key] = self.topology.route(*key)
         ser = packet.wire_size * self._inv_bandwidth
         for hop, link in enumerate(links):
-            claim = link.claim_head()
-            yield claim
+            # Uncontended links (the dominant case in every sweep) are
+            # claimed inline — no Request, no grant event; only a busy
+            # channel suspends the traversal on a claim event.
+            if not link.claim_fast():
+                yield link.claim_head()
             link.account(packet)
             # The channel is occupied for the serialization time (the tail
             # streams behind the head); propagation pipelines, so release
             # is scheduled now and the head crosses concurrently.
-            link.hold_for(claim, ser)
+            link.hold_for(ser)
             if hop == 0 and on_injected is not None:
-                self.sim.call_at(
+                self.sim.schedule_callback(
                     self.sim.now + ser, lambda: on_injected(packet)
                 )
             yield self.sim.timeout(link.latency)

@@ -46,6 +46,10 @@ class Link:
         self.latency = latency
         self.name = name
         self._channel = Resource(sim, capacity=1, name=f"{name}.channel")
+        # Cached bound method: hold_for runs once per packet per hop, and
+        # a fresh closure (or bound method) there would be the single
+        # biggest allocation site in a sweep.
+        self._release_cb = self._channel._release_unit
         #: Cumulative bytes serialized (utilization accounting).
         self.bytes_carried = 0
         self.packets_carried = 0
@@ -61,6 +65,20 @@ class Link:
     def queue_length(self) -> int:
         return self._channel.queue_length
 
+    def claim_fast(self) -> bool:
+        """Claim the channel inline if it is idle with no waiters.
+
+        The uncontended wire fast path: no :class:`Request`, no grant
+        event, no process suspension — the head starts crossing in the
+        same callback that injected it.  Returns ``False`` under
+        contention; the caller must then ``yield`` :meth:`claim_head`.
+        """
+        channel = self._channel
+        if channel._in_use >= channel.capacity or channel._waiting:
+            return False
+        channel._in_use += 1
+        return True
+
     def claim_head(self) -> SimEvent:
         """Request the channel for a packet head (cut-through traversal).
 
@@ -69,20 +87,19 @@ class Link:
         """
         return self._channel.request()
 
-    def hold_for(self, claim: SimEvent, duration: float) -> None:
+    def hold_for(self, duration: float) -> None:
         """Keep the channel occupied for *duration* µs, then release.
 
         Scheduled in the background so the packet head can progress to the
         next hop while the tail is still streaming through this link.  This
-        runs once per packet per hop, so it uses a single scheduled
-        callback rather than spawning a release process (which would cost a
-        boot event, a timeout event, and generator machinery per hop).
+        runs once per packet per hop, so it goes through the kernel's
+        raw-callback timer (a recycled heap cell and a cached bound
+        method — no event, no closure, no release process).  Works for
+        holds taken via :meth:`claim_fast` and :meth:`claim_head` alike:
+        releasing a granted claim is exactly one ``_release_unit``.
         """
-        channel = self._channel
-        self.sim.call_at(
-            self.sim.now + duration,
-            lambda: channel.release(claim),  # type: ignore[arg-type]
-        )
+        sim = self.sim
+        sim.schedule_callback(sim.now + duration, self._release_cb)
 
     def account(self, packet: "Packet") -> None:
         self.bytes_carried += packet.wire_size

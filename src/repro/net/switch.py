@@ -17,7 +17,7 @@ from typing import Union
 __all__ = ["CrossbarSwitch", "PortRef"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PortRef:
     """A (device, port-index) endpoint for a cable."""
 
@@ -32,6 +32,8 @@ class CrossbarSwitch:
     ``hop_latency``.  The class tracks per-port peers so topology builders
     can validate wiring and experiments can introspect the fabric.
     """
+
+    __slots__ = ("switch_id", "radix", "hop_latency", "_peers")
 
     def __init__(self, switch_id: int, radix: int, hop_latency: float):
         if radix < 2:

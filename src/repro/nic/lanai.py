@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Any, Callable, Generator
 from repro.net.packet import Packet, PacketType
 from repro.nic.descriptor import PacketDescriptor
 from repro.nic.sram import BufferPool
-from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.resources import EMPTY, PriorityStore, Resource, Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gm.params import GMCostModel
@@ -131,8 +131,11 @@ class NIC:
 
     # -- engine loops --------------------------------------------------------
     def _command_loop(self) -> Generator:
+        host_queue = self.host_queue
         while True:
-            command = yield self.host_queue.get()
+            command = host_queue.try_get()
+            if command is EMPTY:
+                command = yield host_queue.get()
             handler = self.command_handlers.get(type(command))
             if handler is None:
                 raise LookupError(
@@ -143,8 +146,13 @@ class NIC:
             yield from handler(command)
 
     def _rx_loop(self) -> Generator:
+        # Deliberately NOT a try_get drain: a backlogged receive path must
+        # keep yielding between packets so same-instant deliveries, ACK
+        # timers, and LANai grants interleave in arrival order.  Draining
+        # synchronously here reorders ties and shifts multicast latencies.
+        rx_queue = self.rx_queue
         while True:
-            packet, buf = yield self.rx_queue.get()
+            packet, buf = yield rx_queue.get()
             self.packets_received += 1
             handler = self.packet_handlers.get(packet.header.ptype)
             if handler is None:
@@ -160,8 +168,11 @@ class NIC:
             yield from handler(packet, buf)
 
     def _tx_loop(self) -> Generator:
+        tx_queue = self.tx_queue
         while True:
-            desc = yield self.tx_queue.get()
+            desc = tx_queue.try_get()
+            if desc is EMPTY:
+                desc = yield tx_queue.get()
             pkt = desc.packet
             if pkt.src != self.id:
                 raise RuntimeError(
@@ -198,23 +209,38 @@ class NIC:
     # -- building blocks for protocol handlers --------------------------------
     def dma(self, nbytes: int, priority: int = 0) -> Generator:
         """One host→NIC DMA transaction (PCI read) on the shared bus."""
-        yield from self.pci.use(self.cost.dma_time(nbytes), priority=priority)
+        duration = self.cost.dma_time(nbytes)
+        ev = self.pci.use_fast(duration)
+        if ev is None:
+            yield from self.pci.use(duration, priority=priority)
+        else:
+            yield ev
 
     def dma_write(self, nbytes: int, priority: int = 0) -> Generator:
         """One NIC→host DMA transaction (PCI write) on the shared bus."""
-        yield from self.pci.use(
-            self.cost.dma_write_time(nbytes), priority=priority
-        )
+        duration = self.cost.dma_write_time(nbytes)
+        ev = self.pci.use_fast(duration)
+        if ev is None:
+            yield from self.pci.use(duration, priority=priority)
+        else:
+            yield ev
 
     def processing(self, cost: float, priority: int = 0) -> Generator:
-        """Hold the LANai processor for *cost* µs."""
-        yield from self.cpu.use(cost, priority=priority)
+        """Hold the LANai processor for *cost* µs (fast path when idle)."""
+        ev = self.cpu.use_fast(cost)
+        if ev is None:
+            yield from self.cpu.use(cost, priority=priority)
+        else:
+            yield ev
 
     def sram_copy(self, nbytes: int) -> Generator:
         """Stage *nbytes* through SRAM on the copy engine."""
-        yield from self.copy_engine.use(
-            nbytes / self.cost.nic_sram_copy_bandwidth
-        )
+        duration = nbytes / self.cost.nic_sram_copy_bandwidth
+        ev = self.copy_engine.use_fast(duration)
+        if ev is None:
+            yield from self.copy_engine.use(duration)
+        else:
+            yield ev
 
     def queue_tx(self, desc: PacketDescriptor, priority: int = TX_PRIO_DATA) -> None:
         self.tx_queue.put_priority(priority, desc)

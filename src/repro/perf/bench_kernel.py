@@ -38,35 +38,62 @@ SMOKE_FIGURES = ("fig3",)
 DEFAULT_OUTPUT = "BENCH_kernel.json"
 
 
-def bench_event_loop(n_events: int = 200_000) -> dict[str, Any]:
-    """Raw kernel throughput: a process pumping back-to-back timeouts."""
+def bench_event_loop(
+    n_events: int = 200_000, repeats: int = 3
+) -> dict[str, Any]:
+    """Raw kernel throughput: a process pumping back-to-back timeouts.
+
+    The pump is repeated *repeats* times (after one untimed warmup pass
+    to fault in code objects and allocator arenas) and the **best** run
+    is reported — a microbenchmark measures the kernel's achievable
+    rate, and the minimum wall time is the standard noise-robust
+    estimator for that; single-shot numbers on a busy host swing ±30%.
+    Per-repeat rates are kept in ``repeat_rates`` so the spread is
+    visible in the report.
+    """
     from repro.sim import Simulator
 
-    sim = Simulator()
+    def one_pass(n: int) -> tuple[int, float]:
+        sim = Simulator()
 
-    def pump() -> Generator:
-        for _ in range(n_events):
-            yield sim.timeout(1.0)
+        def pump() -> Generator:
+            for _ in range(n):
+                yield sim.timeout(1.0)
 
-    sim.process(pump())
-    KERNEL_COUNTERS.reset()
-    started = time.perf_counter()
-    sim.run()
-    wall = time.perf_counter() - started
-    events = KERNEL_COUNTERS.events
+        sim.process(pump())
+        KERNEL_COUNTERS.reset()
+        started = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - started
+        return KERNEL_COUNTERS.events, wall
+
+    one_pass(min(n_events, 20_000))  # warmup, untimed
+    passes = [one_pass(n_events) for _ in range(max(1, repeats))]
+    rates = [round(ev / wall) for ev, wall in passes if wall > 0]
+    events, wall = min(passes, key=lambda p: p[1])
     return {
         "scheduled_timeouts": n_events,
         "events": events,
         "wall_s": round(wall, 4),
         "events_per_sec": round(events / wall) if wall > 0 else None,
+        "repeat_rates": rates,
     }
 
 
 def bench_figure(
     figure_id: str, jobs: int, quick: bool = True
 ) -> dict[str, Any]:
-    """Time one figure's sweep serially and across *jobs* workers."""
+    """Time one figure's sweep serially and across *jobs* workers.
+
+    On a single-CPU host the pool pass still runs (the byte-identity
+    check between serial and fanned-out tables is a determinism claim,
+    not a speed claim) but the wall-clock comparison is meaningless —
+    workers just time-slice one core — so ``speedup`` is nulled and the
+    report carries ``"parallel_comparison": "skipped-1cpu"`` instead of
+    a noise figure.
+    """
     module = importlib.import_module(FIGURES[figure_id])
+    cpus = os.cpu_count() or 1
 
     KERNEL_COUNTERS.reset()
     started = time.perf_counter()
@@ -78,8 +105,9 @@ def bench_figure(
     parallel = module.run(quick=quick, jobs=jobs)
     parallel_s = time.perf_counter() - started
 
-    return {
+    result = {
         "jobs": jobs,
+        "cpu_count": cpus,
         "serial_wall_s": round(serial_s, 3),
         "parallel_wall_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 2) if parallel_s > 0 else None,
@@ -87,6 +115,10 @@ def bench_figure(
         "events_per_sec": round(events / serial_s) if serial_s > 0 else None,
         "outputs_identical": serial.table() == parallel.table(),
     }
+    if cpus == 1:
+        result["speedup"] = None
+        result["parallel_comparison"] = "skipped-1cpu"
+    return result
 
 
 def run_bench(

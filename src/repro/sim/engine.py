@@ -1,8 +1,18 @@
-"""The simulation engine: clock, event heap, and run loop."""
+"""The simulation engine: clock, event heap, and run loop.
+
+Kernel v2: the heap holds two kinds of entries — :class:`SimEvent`
+objects and :class:`_Callback` cells (raw callables recycled through a
+freelist).  Timers that only need to run a function (``call_at``,
+``Link.hold_for``, retransmission timers) go through
+:meth:`Simulator.schedule_callback` and never allocate an event; the run
+loops are fused (hoisted heap/locals, batched counter updates) so the
+per-event cost is one heap pop plus the callbacks themselves.
+"""
 
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from itertools import count
 from typing import Any, Callable, Generator
 
@@ -25,6 +35,21 @@ class EmptySchedule(Exception):
     """Raised by :meth:`Simulator.step` when no events remain."""
 
 
+class _Callback:
+    """A heap cell carrying a bare callable — no event machinery.
+
+    Cells are recycled through the simulator's freelist: after the run
+    loop invokes ``fn`` the cell goes back on the freelist, so a
+    steady-state run (packet hops, NIC holds, retransmission timers)
+    schedules timers with zero allocation beyond the heap tuple.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None] | None = None):
+        self.fn = fn
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -41,14 +66,20 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0, trace: bool = False):
-        self._heap: list[tuple[float, int, int, SimEvent]] = []
+        self._heap: list[tuple[float, int, int, Any]] = []
         self._now: float = 0.0
         self._seq = count()
+        self._cb_freelist: list[_Callback] = []
         self._rngs = RngRegistry(seed)
         self.seed = seed
         self.trace = Tracer(enabled=trace)
-        #: Events processed by :meth:`step` over this simulator's lifetime.
+        #: Events processed by :meth:`step`/:meth:`run` over this
+        #: simulator's lifetime.
         self.events_processed = 0
+        # Shadow the `timeout` method with a C-level partial: one Timeout
+        # is created per modelled wait, and the pure-Python wrapper frame
+        # was ~10% of kernel microbenchmark time.
+        self.timeout = partial(Timeout, self)
         KERNEL_COUNTERS.simulators += 1
 
     # -- clock & introspection -------------------------------------------
@@ -70,7 +101,12 @@ class Simulator:
         return SimEvent(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` µs from now."""
+        """An event that fires ``delay`` µs from now.
+
+        (Shadowed per instance by a ``partial(Timeout, self)`` in
+        ``__init__``; this definition documents the signature and serves
+        unpickled/copied instances.)
+        """
         return Timeout(self, delay, value)
 
     def process(
@@ -102,21 +138,34 @@ class Simulator:
             self._heap, (self._now + delay, priority, next(self._seq), event)
         )
 
+    def schedule_callback(
+        self, when: float, fn: Callable[[], None], priority: int = NORMAL
+    ) -> None:
+        """Run bare ``fn()`` at absolute time *when* (>= now).
+
+        The allocation-free timer primitive: no :class:`SimEvent`, no
+        callback list — just a recycled :class:`_Callback` cell on the
+        heap.  Use it for fire-and-forget work (resource releases,
+        retransmission timers); use :meth:`event`/:meth:`timeout` when
+        something needs to *wait* on the result.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"schedule_callback({when}) is in the past (now={self._now})"
+            )
+        freelist = self._cb_freelist
+        if freelist:
+            cell = freelist.pop()
+            cell.fn = fn
+        else:
+            cell = _Callback(fn)
+        heapq.heappush(self._heap, (when, priority, next(self._seq), cell))
+
     def call_at(
         self, when: float, fn: Callable[[], None], *, priority: int = NORMAL
-    ) -> SimEvent:
+    ) -> None:
         """Run ``fn()`` at absolute time *when* (>= now)."""
-        if when < self._now:
-            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
-        # A pre-triggered bare event pushed straight onto the heap at the
-        # absolute time: no Timeout wrapper, no relative-delay round trip,
-        # and the caller's priority is honoured.
-        ev = SimEvent(self)
-        ev._ok = True
-        ev._value = None
-        ev.callbacks.append(lambda _ev: fn())  # type: ignore[union-attr]
-        heapq.heappush(self._heap, (when, priority, next(self._seq), ev))
-        return ev
+        self.schedule_callback(when, fn, priority)
 
     # -- run loop ----------------------------------------------------------
     def step(self) -> None:
@@ -127,6 +176,12 @@ class Simulator:
         self._now = when
         self.events_processed += 1
         KERNEL_COUNTERS.events += 1
+        if event.__class__ is _Callback:
+            fn = event.fn
+            event.fn = None
+            self._cb_freelist.append(event)
+            fn()
+            return
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
         for cb in callbacks:
@@ -141,10 +196,35 @@ class Simulator:
         * a ``float`` — run until simulated time reaches that instant;
         * a :class:`SimEvent` — run until that event is processed, and
           return its value (raising its exception if it failed).
+
+        All three loops are fused: heap and helpers are hoisted into
+        locals and the lifetime counters are updated once per run, not
+        once per event.
         """
+        heap = self._heap
+        pop = heapq.heappop
+        cb_cls = _Callback
+        freelist = self._cb_freelist
+        n = 0
+
         if until is None:
-            while self._heap:
-                self.step()
+            try:
+                while heap:
+                    when, _p, _s, event = pop(heap)
+                    self._now = when
+                    n += 1
+                    if event.__class__ is cb_cls:
+                        fn = event.fn
+                        event.fn = None
+                        freelist.append(event)
+                        fn()
+                        continue
+                    callbacks, event.callbacks = event.callbacks, None
+                    for cb in callbacks:
+                        cb(event)
+            finally:
+                self.events_processed += n
+                KERNEL_COUNTERS.events += n
             return None
 
         if isinstance(until, SimEvent):
@@ -155,12 +235,28 @@ class Simulator:
                 return stop.value
             flag: list[bool] = []
             stop.add_callback(lambda _ev: flag.append(True))
-            while not flag:
-                if not self._heap:
-                    raise RuntimeError(
-                        f"simulation ran out of events before {stop!r} triggered"
-                    )
-                self.step()
+            try:
+                while not flag:
+                    if not heap:
+                        raise RuntimeError(
+                            f"simulation ran out of events before {stop!r} "
+                            "triggered"
+                        )
+                    when, _p, _s, event = pop(heap)
+                    self._now = when
+                    n += 1
+                    if event.__class__ is cb_cls:
+                        fn = event.fn
+                        event.fn = None
+                        freelist.append(event)
+                        fn()
+                        continue
+                    callbacks, event.callbacks = event.callbacks, None
+                    for cb in callbacks:
+                        cb(event)
+            finally:
+                self.events_processed += n
+                KERNEL_COUNTERS.events += n
             if not stop.ok:
                 raise stop.value
             return stop.value
@@ -168,7 +264,22 @@ class Simulator:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"run(until={horizon}) is in the past")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        try:
+            while heap and heap[0][0] <= horizon:
+                when, _p, _s, event = pop(heap)
+                self._now = when
+                n += 1
+                if event.__class__ is cb_cls:
+                    fn = event.fn
+                    event.fn = None
+                    freelist.append(event)
+                    fn()
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+        finally:
+            self.events_processed += n
+            KERNEL_COUNTERS.events += n
         self._now = max(self._now, horizon)
         return None

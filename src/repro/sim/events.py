@@ -7,6 +7,7 @@ to every waiter) or a failure exception (raised in every waiter).
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -152,11 +153,18 @@ class Timeout(SimEvent):
     ):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=name)
-        self.delay = delay
-        self._ok = True
+        # Flattened hot path (one Timeout per modelled wait): assign the
+        # slots directly and push straight onto the heap rather than
+        # chaining through SimEvent.__init__ and Simulator._schedule.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay, 1)
+        self._ok = True
+        self.name = name
+        self.delay = delay
+        _heappush(
+            sim._heap, (sim._now + delay, 1, next(sim._seq), self)
+        )
 
 
 class Condition(SimEvent):

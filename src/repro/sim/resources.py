@@ -4,11 +4,18 @@ These model contended hardware in the stack: the LANai processor and PCI
 bus are capacity-1 :class:`Resource` objects, packet queues are
 :class:`Store` objects, and bounded buffer pools are stores pre-filled with
 buffer objects.
+
+Kernel v2 adds uncontended fast paths: :meth:`Resource.use_fast` grants a
+free resource inline with a single hold-end event (no
+:class:`Request`, no generator frame), and :meth:`Store.try_get` hands
+back an already-queued item synchronously so engine drain loops skip
+getter-event creation entirely.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
@@ -17,7 +24,17 @@ from repro.sim.events import SimEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
-__all__ = ["Resource", "Request", "Store", "PriorityStore"]
+__all__ = ["Resource", "Request", "Store", "PriorityStore", "EMPTY"]
+
+
+class _Empty:
+    """Sentinel returned by :meth:`Store.try_get` when nothing is queued."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<EMPTY>"
+
+
+EMPTY = _Empty()
 
 
 class Request(SimEvent):
@@ -48,10 +65,11 @@ class Resource:
         self._in_use = 0
         self._waiting: list[tuple[int, int, Request]] = []
         self._seq = count()
-        #: Accumulated held time from :meth:`use`, µs (utilization
-        #: accounting; direct request/release pairs are not tracked).
+        #: Accumulated held time from :meth:`use`/:meth:`use_fast`, µs
+        #: (utilization accounting; direct request/release pairs are not
+        #: tracked).
         self.busy_time = 0.0
-        #: Number of :meth:`use` holds completed.
+        #: Number of :meth:`use`/:meth:`use_fast` holds completed.
         self.use_count = 0
 
     @property
@@ -73,6 +91,16 @@ class Resource:
             heapq.heappush(self._waiting, (priority, next(self._seq), req))
         return req
 
+    def _release_unit(self) -> None:
+        """Return one unit and grant as many queued claims as now fit."""
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise RuntimeError(f"double release on {self.name or self!r}")
+        while self._waiting and self._in_use < self.capacity:
+            _prio, _seq, nxt = heapq.heappop(self._waiting)
+            self._in_use += 1
+            nxt.succeed(nxt)
+
     def release(self, request: Request) -> None:
         """Return the unit held by *request*."""
         if request.resource is not self:
@@ -84,21 +112,16 @@ class Resource:
             ]
             heapq.heapify(self._waiting)
             return
-        self._in_use -= 1
-        if self._in_use < 0:
-            raise RuntimeError(f"double release on {self.name or self!r}")
-        while self._waiting and self._in_use < self.capacity:
-            _prio, _seq, nxt = heapq.heappop(self._waiting)
-            self._in_use += 1
-            nxt.succeed(nxt)
+        self._release_unit()
 
     def use(
         self, duration: float, priority: int = 0
     ) -> Generator[SimEvent, Any, None]:
         """``yield from`` helper: acquire, hold for *duration* µs, release.
 
-        The dominant pattern for modelling the NIC processor and PCI bus:
-        ``yield from nic.cpu.use(cost.send_token_processing)``.
+        The general (contention-safe) hold; hot callers go through
+        :meth:`use_fast` first and only fall back here when the resource
+        is busy or has queued waiters.
         """
         req = self.request(priority)
         yield req
@@ -109,6 +132,45 @@ class Resource:
         finally:
             self.release(req)
 
+    def use_fast(self, duration: float) -> SimEvent | None:
+        """Uncontended hold: one pre-triggered hold-end event, or ``None``.
+
+        When the resource is free with no waiters, the unit is claimed
+        inline and a single event — already carrying the release callback
+        — is scheduled at ``now + duration``.  The caller yields that
+        event and the hold costs no :class:`Request`, no ``use()``
+        generator frame, and no separate release timer:
+
+            ev = res.use_fast(cost)
+            if ev is None:
+                yield from res.use(cost, priority=priority)
+            else:
+                yield ev
+
+        Returns ``None`` under contention (or capacity exhaustion); the
+        caller must then take the ordinary :meth:`use` path.
+        """
+        if self._in_use >= self.capacity or self._waiting:
+            return None
+        self._in_use += 1
+        self.busy_time += duration
+        self.use_count += 1
+        sim = self.sim
+        ev = SimEvent(sim)
+        ev._ok = True
+        ev._value = None
+        # The release runs first, then the waiting process resumes —
+        # matching use(), whose epilogue releases before the caller's
+        # continuation code runs.
+        ev.callbacks.append(self._fast_hold_done)
+        heapq.heappush(
+            sim._heap, (sim._now + duration, 1, next(sim._seq), ev)
+        )
+        return ev
+
+    def _fast_hold_done(self, _ev: SimEvent) -> None:
+        self._release_unit()
+
 
 class Store:
     """An unbounded FIFO of items with event-based ``get``.
@@ -116,14 +178,14 @@ class Store:
     ``put`` never blocks (queues in the NIC model are bounded by the buffer
     pools that feed them, not by the queue itself).  ``get`` returns an
     event that succeeds with the next item, in strict FIFO order of both
-    items and getters.
+    items and getters; ``try_get`` takes a queued item synchronously.
     """
 
     def __init__(self, sim: "Simulator", name: str | None = None):
         self.sim = sim
         self.name = name
-        self._items: list[Any] = []
-        self._getters: list[SimEvent] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -143,12 +205,24 @@ class Store:
         self._dispatch()
         return ev
 
+    def try_get(self) -> Any:
+        """Take the next item now, or :data:`EMPTY` if none is queued.
+
+        The drain-loop fast path: when the queue is backlogged the
+        consumer keeps draining synchronously instead of allocating a
+        getter event per item.  Only valid when the caller is the sole
+        consumer (true of every NIC engine loop).
+        """
+        if self._items and not self._getters:
+            return self._take()
+        return EMPTY
+
     def _take(self) -> Any:
-        return self._items.pop(0)
+        return self._items.popleft()
 
     def _dispatch(self) -> None:
         while self._items and self._getters:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             getter.succeed(self._take())
 
 
@@ -178,12 +252,17 @@ class PriorityStore(Store):
         heapq.heappush(self._heap, (priority, next(self._seq), item))
         self._dispatch()
 
+    def try_get(self) -> Any:
+        if self._heap and not self._getters:
+            return heapq.heappop(self._heap)[2]
+        return EMPTY
+
     def _take(self) -> Any:
         return heapq.heappop(self._heap)[2]
 
     def _dispatch(self) -> None:
         while self._heap and self._getters:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             getter.succeed(self._take())
 
 
@@ -191,12 +270,16 @@ def drain(store: Store, sink: Callable[[Any], Iterable[SimEvent] | None]):
     """Build a generator that forever gets items and feeds them to *sink*.
 
     If *sink* returns a generator it is run inline (``yield from``); this is
-    the standard shape of NIC engine loops.
+    the standard shape of NIC engine loops.  Queued items are taken via
+    the :meth:`Store.try_get` fast path (no getter event); the loop only
+    suspends on ``get()`` when the store runs dry.
     """
 
     def _loop() -> Generator[SimEvent, Any, None]:
         while True:
-            item = yield store.get()
+            item = store.try_get()
+            if item is EMPTY:
+                item = yield store.get()
             result = sink(item)
             if result is not None:
                 yield from result

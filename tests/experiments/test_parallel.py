@@ -31,6 +31,12 @@ def _square(i):
     return i * i
 
 
+def _boom(i):
+    if i == 1:
+        raise ValueError(f"cell {i} exploded")
+    return i
+
+
 def _measure_cell(n, size, seed):
     m = measure_gm_multicast(n, size, "nb", iterations=3, seed=seed)
     return m.latency, sorted(m.per_dest_delivery.items()), m.ack_trip
@@ -104,6 +110,19 @@ def test_invalid_jobs_rejected():
 
 def test_default_jobs_positive():
     assert default_jobs() >= 1
+
+
+def test_cell_exception_propagates_from_pool():
+    """A failing simulation point fails the sweep — the executor must not
+    swallow cell-level exceptions and silently re-run serially."""
+    cells = [
+        SweepCell(figure="t", fn=_boom, args=(i,), label=f"b{i}")
+        for i in range(3)
+    ]
+    with pytest.raises(ValueError, match="cell 1 exploded"):
+        SweepExecutor(jobs=2).run(cells)
+    with pytest.raises(ValueError, match="cell 1 exploded"):
+        SweepExecutor(jobs=1).run(cells)
 
 
 def test_parallel_measurements_match_serial():

@@ -82,6 +82,23 @@ class TestLink:
         assert link.busy
         link.claim_head()
         assert link.queue_length == 1
-        link.hold_for(claim, 5.0)
+        link.hold_for(5.0)
         sim.run()
         assert link.busy  # second claim was granted when first released
+
+    def test_claim_fast_inline_and_contention(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=200.0, latency=0.1, name="l")
+        # Idle link: claimed inline, no event.
+        assert link.claim_fast()
+        assert link.busy
+        # Busy link: fast path refuses; the slow path must be taken.
+        assert not link.claim_fast()
+        link.hold_for(5.0)
+        sim.run()
+        assert not link.busy
+        # Queued waiter also blocks the fast path (FIFO fairness).
+        first = link.claim_head()
+        assert first.triggered
+        link.claim_head()
+        assert not link.claim_fast()

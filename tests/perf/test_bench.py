@@ -38,4 +38,12 @@ def test_smoke_benchmark_writes_valid_json(tmp_path, capsys):
         assert entry["parallel_wall_s"] > 0
         assert entry["events_per_sec"] > 0
         assert entry["outputs_identical"] is True
+        assert entry["cpu_count"] >= 1
+        if entry["cpu_count"] == 1:
+            # One core: the serial-vs-pool wall comparison is noise and
+            # must be flagged rather than reported as a speedup.
+            assert entry["speedup"] is None
+            assert entry["parallel_comparison"] == "skipped-1cpu"
+        else:
+            assert "parallel_comparison" not in entry
     assert report["totals"]["all_outputs_identical"] is True
