@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
-from repro.errors import GroupError, ReproError, TokenExhausted
+from repro.errors import GroupError, ReproError
 from repro.net.packet import Packet, PacketHeader, PacketType
 from repro.nic.descriptor import PacketDescriptor
 from repro.nic.lanai import HostCommand, TX_PRIO_ACK

@@ -18,15 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean
-from typing import Any, Callable, Generator
+from typing import Any, Generator
 
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.gm.params import GMCostModel
-from repro.mcast.manager import install_group, next_group_id
-from repro.mcast.nic_assisted import NicAssistedEngine, nic_assisted_multisend
+from repro.mcast.schemes import create_scheme, get_scheme, resolve_scheme
 from repro.mpi.comm import Communicator
-from repro.trees import SpanningTree, build_tree
+from repro.trees import build_tree
 
 __all__ = [
     "MulticastMeasurement",
@@ -95,8 +94,8 @@ def measure_multisend(
 ) -> float:
     """Fig. 3 metric: mean time from post to the last destination's ack.
 
-    ``scheme``: ``"nb"`` (NIC-based multisend into a flat group) or
-    ``"hb"`` (host posts one unicast per destination).
+    ``scheme``: a registry key (``"nic_multisend"``, ``"host_based"``)
+    or the legacy spelling ``"nb"`` / ``"hb"``.
     """
     n = n_dest + 1
     cluster = _cluster(n, cost, seed)
@@ -104,34 +103,17 @@ def measure_multisend(
     durations: list[float] = []
     total = warmup + iterations
 
-    if scheme == "nb":
-        gid = next_group_id()
-        install_group(cluster, gid, tree)
+    bound = create_scheme(
+        resolve_scheme(scheme, context="multisend"), cluster, tree
+    )
+    bound.install()
 
-        def root() -> Generator:
-            for it in range(total):
-                start = cluster.now
-                handle = yield from cluster.node(0).mcast.multicast_send(
-                    cluster.port(0), gid, size
-                )
-                yield handle.done
-                if it >= warmup:
-                    durations.append(cluster.now - start)
-    elif scheme == "hb":
-
-        def root() -> Generator:
-            port = cluster.port(0)
-            for it in range(total):
-                start = cluster.now
-                handles = []
-                for dest in range(1, n):
-                    handle = yield from port.send(dest, size)
-                    handles.append(handle.done)
-                yield cluster.sim.all_of(handles)
-                if it >= warmup:
-                    durations.append(cluster.now - start)
-    else:
-        raise ValueError(f"unknown multisend scheme {scheme!r}")
+    def root() -> Generator:
+        for it in range(total):
+            start = cluster.now
+            yield from bound.send(size)
+            if it >= warmup:
+                durations.append(cluster.now - start)
 
     def receiver(i: int) -> Generator:
         port = cluster.port(i)
@@ -166,9 +148,10 @@ def measure_gm_multicast(
 ) -> MulticastMeasurement:
     """Figs. 5 metric for one (system size, message size, scheme) point.
 
-    ``scheme``: ``"nb"`` (optimal tree + NIC forwarding), ``"hb"``
-    (binomial tree + host forwarding), or ``"nic_assisted"`` (binomial
-    tree, multidestination sends, host forwarding).
+    ``scheme``: a registry key (``"nic_based"``, ``"host_based"``,
+    ``"nic_assisted"``) or the legacy spelling ``"nb"`` / ``"hb"``.
+    The spanning tree defaults to the scheme's registered shape
+    (optimal for NIC-based, binomial for the host-driven baselines).
     """
     cost = cost or GMCostModel()
     cluster = _cluster(n_nodes, cost, seed)
@@ -192,70 +175,28 @@ def measure_gm_multicast(
         if not remaining:
             ev.succeed(None)
 
-    if scheme == "nb":
-        tree = build_tree(
-            0, dests, shape=tree_shape or "optimal", cost=cost, size=size
-        )
-        gid = next_group_id()
-        install_group(cluster, gid, tree)
-
-        def root() -> Generator:
-            for _ in range(total):
-                begin_round()
-                handle = yield from cluster.node(0).mcast.multicast_send(
-                    cluster.port(0), gid, size
-                )
-                del handle
-                yield round_done[0][1]
-
-        def member(i: int) -> Generator:
-            port = cluster.port(i)
-            for it in range(total):
-                yield from port.receive()
-                mark_delivered(i, it)
-                yield from port.provide_receive_buffer()
-
-    elif scheme in ("hb", "nic_assisted"):
-        tree = build_tree(0, dests, shape=tree_shape or "binomial")
-        if scheme == "nic_assisted":
-            for node in cluster.nodes:
-                node.nic_assisted = NicAssistedEngine(node)
-        children_map = {n: tree.children_of(n) for n in tree.nodes}
-
-        def _relay(node_id: int) -> Generator:
-            kids = children_map[node_id]
-            if not kids:
-                return
-            node = cluster.node(node_id)
-            port = cluster.port(node_id)
-            if scheme == "nic_assisted":
-                handle = yield from nic_assisted_multisend(
-                    node, port, kids, size
-                )
-                yield handle.done
-            else:
-                handles = []
-                for child in kids:
-                    handle = yield from port.send(child, size)
-                    handles.append(handle.done)
-                yield cluster.sim.all_of(handles)
-
-        def root() -> Generator:
-            for _ in range(total):
-                begin_round()
-                yield from _relay(0)
-                yield round_done[0][1]
-
-        def member(i: int) -> Generator:
-            port = cluster.port(i)
-            for it in range(total):
-                yield from port.receive()
-                mark_delivered(i, it)
-                yield from port.provide_receive_buffer()
-                yield from _relay(i)
-
+    spec = get_scheme(resolve_scheme(scheme, context="multicast"))
+    shape = tree_shape or spec.default_tree
+    if spec.tree_uses_cost:
+        tree = build_tree(0, dests, shape=shape, cost=cost, size=size)
     else:
-        raise ValueError(f"unknown multicast scheme {scheme!r}")
+        tree = build_tree(0, dests, shape=shape)
+    bound = spec.cls(spec, cluster, tree)
+    bound.install()
+
+    def root() -> Generator:
+        for _ in range(total):
+            begin_round()
+            yield from bound.post(size)
+            yield round_done[0][1]
+
+    def member(i: int) -> Generator:
+        port = cluster.port(i)
+        for it in range(total):
+            yield from port.receive()
+            mark_delivered(i, it)
+            yield from port.provide_receive_buffer()
+            yield from bound.relay(i, size)
 
     procs = [cluster.spawn(root())]
     procs += [cluster.spawn(member(i)) for i in dests]

@@ -18,7 +18,7 @@ Implements GM's send/receive paths as they appear to the firmware
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.errors import ReproError
@@ -33,7 +33,8 @@ from repro.net.packet import (
     split_message,
 )
 from repro.nic.descriptor import PacketDescriptor
-from repro.nic.lanai import NIC, TX_PRIO_ACK, TX_PRIO_DATA
+from repro.nic.lanai import NIC, TX_PRIO_DATA
+from repro.proto import NEVER, GoBackN, RetransmitTimer, SendWindow, send_ack
 from repro.sim.resources import EMPTY, Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -59,21 +60,29 @@ class SendRecord:
     group: int | None = None
     sent_at: float = 0.0
     retransmits: int = 0
-    #: bumped on every (re)arm; stale timers compare and bail out.
-    generation: int = 0
+    #: absolute retransmission deadline, managed by the connection's
+    #: :class:`~repro.proto.timer.RetransmitTimer`.
+    deadline: float = NEVER
 
 
 class Connection:
     """Per (local port, remote port) unidirectional sequencing state."""
 
-    __slots__ = ("next_send_seq", "recv_seq", "records", "inflight", "key")
+    __slots__ = (
+        "next_send_seq", "recv_seq", "records", "window", "timer",
+        "inflight", "key",
+    )
 
     def __init__(self, key: tuple):
         self.key = key
         self.next_send_seq = 1
         self.recv_seq = 0
-        #: unacked send records by seq
+        #: unacked send records by seq (backing dict of ``window``)
         self.records: dict[int, SendRecord] = {}
+        self.window = SendWindow(self.records)
+        #: retransmission timer; attached by the engine on send
+        #: connections (receive connections keep no records).
+        self.timer: RetransmitTimer | None = None
         #: in-progress multi-packet receives by msg_id
         self.inflight: dict[int, "_InflightRecv"] = {}
 
@@ -94,6 +103,37 @@ class _InflightRecv:
     app_info: Any = None
 
 
+class _GMGoBackN(GoBackN):
+    """GM's Go-back-N, bound to one engine's counters and transport."""
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: "GMEngine"):
+        self.engine = engine
+
+    @property
+    def max_retransmits(self) -> int:
+        return self.engine.cost.max_retransmits
+
+    def count(self, record: SendRecord, *, conn: Connection) -> None:
+        self.engine.retransmissions += 1
+
+    def unreachable(self, record: SendRecord, *, conn: Connection) -> str:
+        return (
+            f"{self.engine.nic.name}: packet seq={record.seq} to node "
+            f"{record.dst} dropped {record.retransmits} times — "
+            f"peer unreachable"
+        )
+
+    def resend(self, record: SendRecord, *, conn: Connection) -> Generator:
+        engine = self.engine
+        engine.sim.record(
+            engine.nic.name, "retransmit", seq=record.seq, dst=record.dst,
+            attempt=record.retransmits,
+        )
+        yield from engine._retransmit_record(conn, record)
+
+
 class GMEngine:
     """One GM protocol instance, bound to one NIC."""
 
@@ -109,6 +149,7 @@ class GMEngine:
         self.duplicates_dropped = 0
         self.out_of_order_dropped = 0
         self.no_token_dropped = 0
+        self.policy = _GMGoBackN(self)
 
         nic.command_handlers[SendCommand] = self._handle_send_command
         nic.packet_handlers[PacketType.DATA] = self._handle_data
@@ -149,6 +190,12 @@ class GMEngine:
         conn = self._send_conns.get(key)
         if conn is None:
             conn = Connection(("send",) + key)
+            conn.timer = RetransmitTimer(
+                self.sim,
+                self.cost.ack_timeout,
+                conn.window,
+                lambda record, conn=conn: self._expired(conn, record),
+            )
             self._send_conns[key] = conn
         return conn
 
@@ -183,7 +230,7 @@ class GMEngine:
                 dst_port=token.dst_port,
                 local_port=token.port_num,
             )
-            conn.records[record.seq] = record
+            conn.window.add(record)
             token.unacked_packets += 1
             # LANai work stays on the command path; the data fetch is
             # handed to the staging pipeline (DMA overlaps later
@@ -202,7 +249,7 @@ class GMEngine:
         buf = yield self.nic.send_buffers.acquire()
         yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
         record.sent_at = self.sim.now
-        self._arm_timer(conn, record)
+        conn.timer.arm(record)
         pkt = Packet(
             header=PacketHeader(
                 ptype=record.ptype,
@@ -226,52 +273,20 @@ class GMEngine:
         self.nic.queue_tx(desc, TX_PRIO_DATA)
 
     # -- reliability: timers & retransmission ------------------------------------
-    def _arm_timer(self, conn: Connection, record: SendRecord) -> None:
-        record.generation += 1
-        generation = record.generation
-        self.sim.call_at(
-            self.sim.now + self.cost.ack_timeout,
-            lambda: self._on_timeout(conn, record.seq, generation),
-        )
+    def _expired(self, conn: Connection, record: SendRecord) -> None:
+        """The oldest unacked record timed out: start the Go-back-N sweep.
 
-    def _on_timeout(self, conn: Connection, seq: int, generation: int) -> None:
-        record = conn.records.get(seq)
-        if record is None or record.generation != generation:
-            return  # acked or already retransmitted meanwhile
-        if seq != min(conn.records):
-            # Only the oldest unacked record drives retransmission (as in
-            # GM); this packet rides along in that record's Go-back-N.
-            # Re-arm so it still fires if it *becomes* the oldest.
-            self._arm_timer(conn, record)
-            return
+        (Non-oldest and already-acked records never reach here — the
+        connection's :class:`RetransmitTimer` re-arms or ignores them.)
+        """
         self.sim.record(
-            self.nic.name, "timeout", seq=seq, dst=record.dst,
+            self.nic.name, "timeout", seq=record.seq, dst=record.dst,
             retransmits=record.retransmits,
         )
         self.sim.process(
-            self._go_back_n(conn, seq), name=f"{self.nic.name}.gbn"
+            self.policy.sweep(conn.window, record.seq, conn=conn),
+            name=f"{self.nic.name}.gbn",
         )
-
-    def _go_back_n(self, conn: Connection, from_seq: int) -> Generator:
-        """Retransmit *from_seq* and every later unacked packet, in order."""
-        for seq in sorted(conn.records):
-            if seq < from_seq:
-                continue
-            record = conn.records.get(seq)
-            if record is None:
-                continue  # acked while we were retransmitting predecessors
-            record.retransmits += 1
-            self.retransmissions += 1
-            if record.retransmits > self.cost.max_retransmits:
-                raise ReproError(
-                    f"{self.nic.name}: packet seq={seq} to node {record.dst} "
-                    f"dropped {record.retransmits} times — peer unreachable"
-                )
-            self.sim.record(
-                self.nic.name, "retransmit", seq=seq, dst=record.dst,
-                attempt=record.retransmits,
-            )
-            yield from self._retransmit_record(conn, record)
 
     def _retransmit_record(self, conn: Connection, record: SendRecord) -> Generator:
         """Default retransmission: re-fetch the data from host memory.
@@ -290,11 +305,7 @@ class GMEngine:
         conn = self._send_conns.get((h.port, h.src, h.from_port))
         if conn is None:
             return  # stale ack for a connection we never opened
-        for seq in sorted(conn.records):
-            if seq > h.ack_seq:
-                break
-            record = conn.records.pop(seq)
-            record.generation += 1  # defuse timer
+        for record in conn.window.ack_cumulative(h.ack_seq):
             token = record.token
             token.unacked_packets -= 1
             self._maybe_complete(token)
@@ -395,17 +406,11 @@ class GMEngine:
                 )
 
     def _send_ack(self, conn: Connection, h: PacketHeader) -> Generator:
-        yield from self.nic.processing(self.cost.nic_ack_generation)
-        ack = Packet(
-            header=PacketHeader(
-                ptype=PacketType.ACK,
-                src=self.nic.id,
-                dst=h.src,
-                origin=self.nic.id,
-                port=h.from_port,
-                from_port=h.port,
-                ack_seq=conn.recv_seq,
-                payload=0,
-            )
+        yield from send_ack(
+            self.nic, self.cost,
+            ptype=PacketType.ACK,
+            dst=h.src,
+            port=h.from_port,
+            from_port=h.port,
+            ack_seq=conn.recv_seq,
         )
-        self.nic.queue_tx(PacketDescriptor(ack), TX_PRIO_ACK)

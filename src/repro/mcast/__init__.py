@@ -16,7 +16,10 @@ The proposed scheme consists of:
 
 Baselines: host-based multiple unicasts (``hostbased``), the NIC-assisted
 scheme (``nic_assisted``), LFC (``lfc``) and FM/MC (``fmmc``) credit
-schemes, compared on the paper's feature axes in ``features``.
+schemes, compared on the paper's feature axes in ``features``.  All of
+them — proposed scheme included — are registered in ``schemes`` behind
+one ``BoundScheme`` interface; ``run_scheme`` drives any of them
+end-to-end by key.
 """
 
 from repro.mcast.engine import McastEngine
@@ -28,21 +31,47 @@ from repro.mcast.group import (
 )
 from repro.mcast.hostbased import host_based_multicast
 from repro.mcast.manager import (
+    demand_install_group,
     install_group,
     multicast,
+    next_group_id,
     nic_based_multicast,
+    run_scheme,
 )
 from repro.mcast.reliability import McastRecord
+from repro.mcast.schemes import (
+    BoundScheme,
+    SchemeSpec,
+    available_schemes,
+    create_scheme,
+    get_scheme,
+    register_scheme,
+    resolve_scheme,
+)
 
 __all__ = [
+    # engine and NIC-resident state
     "CreateGroupCommand",
     "GroupState",
     "GroupTable",
     "McastEngine",
     "McastRecord",
     "McastSendCommand",
-    "host_based_multicast",
+    # host-side group management and one-shot drivers
+    "demand_install_group",
     "install_group",
     "multicast",
+    "next_group_id",
     "nic_based_multicast",
+    "run_scheme",
+    # baselines
+    "host_based_multicast",
+    # the scheme registry
+    "BoundScheme",
+    "SchemeSpec",
+    "available_schemes",
+    "create_scheme",
+    "get_scheme",
+    "register_scheme",
+    "resolve_scheme",
 ]

@@ -1,10 +1,15 @@
-"""The multicast engine: glue for multisend + forwarding + reliability.
+"""The multicast engine: composition root for the NIC-based scheme.
 
 One :class:`McastEngine` attaches to each node's NIC alongside the GM
-engine, registering handlers for multicast packets and host commands.
-The GM code paths are untouched (the paper: "Our modification to GM was
-done by leaving the code for other types of communications mostly
-unchanged").
+engine and composes three explicit components — :class:`Multisend`
+(root-side replica chains), :class:`Forwarding` (intermediate-node
+forwarding), and :class:`McastReliability` (acks, timers, selective
+Go-back-N on the :mod:`repro.proto` core) — registering each component's
+handlers for the packets and host commands it owns.  The engine itself
+keeps only what the components share: the group table, statistics,
+packet construction, and completion plumbing.  The GM code paths are
+untouched (the paper: "Our modification to GM was done by leaving the
+code for other types of communications mostly unchanged").
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from repro.gm.tokens import SendToken
-from repro.mcast.forward import ForwardingMixin
+from repro.mcast.forward import Forwarding
 from repro.mcast.group import (
     CreateGroupCommand,
     GroupState,
@@ -20,8 +25,8 @@ from repro.mcast.group import (
     McastSendCommand,
     _HeldMessage,
 )
-from repro.mcast.multisend import MultisendMixin
-from repro.mcast.reliability import McastRecord, ReliabilityMixin
+from repro.mcast.multisend import Multisend
+from repro.mcast.reliability import McastRecord, McastReliability
 from repro.net.packet import Packet, PacketHeader, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -30,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["McastEngine"]
 
 
-class McastEngine(MultisendMixin, ForwardingMixin, ReliabilityMixin):
+class McastEngine:
     """NIC-resident multicast protocol for one node."""
 
     def __init__(self, node: "Node"):
@@ -50,11 +55,22 @@ class McastEngine(MultisendMixin, ForwardingMixin, ReliabilityMixin):
         self.unknown_group_dropped = 0
         self.messages_forwarded = 0
 
+        # components (reliability before the paths that arm its timers)
+        self.reliability = McastReliability(self)
+        self.multisend = Multisend(self)
+        self.forwarding = Forwarding(self)
+
         nic = self.nic
-        nic.command_handlers[McastSendCommand] = self._handle_mcast_send
+        nic.command_handlers[McastSendCommand] = (
+            self.multisend._handle_mcast_send
+        )
         nic.command_handlers[CreateGroupCommand] = self._handle_create_group
-        nic.packet_handlers[PacketType.MCAST_DATA] = self._handle_mcast_data
-        nic.packet_handlers[PacketType.MCAST_ACK] = self._handle_mcast_ack
+        nic.packet_handlers[PacketType.MCAST_DATA] = (
+            self.forwarding._handle_mcast_data
+        )
+        nic.packet_handlers[PacketType.MCAST_ACK] = (
+            self.reliability._handle_mcast_ack
+        )
 
     # -- group management -------------------------------------------------
     def _handle_create_group(self, cmd: CreateGroupCommand) -> Generator:

@@ -16,7 +16,7 @@ decentralized ack scheme avoids.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Generator
 
 from repro.errors import CreditError
 from repro.gm.tokens import ReceiveToken

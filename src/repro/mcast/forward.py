@@ -28,14 +28,26 @@ from repro.nic.descriptor import PacketDescriptor
 from repro.nic.lanai import TX_PRIO_DATA
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mcast.engine import McastEngine
     from repro.mcast.group import GroupState, _HeldMessage
     from repro.mcast.reliability import McastRecord
 
-__all__ = ["ForwardingMixin"]
+__all__ = ["Forwarding"]
 
 
-class ForwardingMixin:
-    """Intermediate-node forwarding, mixed into ``McastEngine``."""
+class Forwarding:
+    """Intermediate-node forwarding: one of ``McastEngine``'s composed
+    components.  Replica chains are shared with the multisend component;
+    acks and timers go through the reliability component."""
+
+    def __init__(self, engine: "McastEngine"):
+        self.engine = engine
+        self.nic = engine.nic
+        self.gm = engine.gm
+        self.memory = engine.memory
+        self.sim = engine.sim
+        self.cost = engine.cost
+        self.table = engine.table
 
     def _handle_mcast_data(self, pkt: Packet, buf: Any) -> Generator:
         yield from self.nic.processing(self.cost.nic_recv_processing)
@@ -45,18 +57,18 @@ class ForwardingMixin:
             # Unknown group (membership not yet preposted) or a stray
             # loop-back: drop; the parent's timeout recovers once the
             # group exists.
-            self.unknown_group_dropped += 1
+            self.engine.unknown_group_dropped += 1
             if buf is not None:
                 buf.release()
             return
         if h.seq <= group.recv_seq:
-            self.duplicates_dropped += 1
+            self.engine.duplicates_dropped += 1
             if buf is not None:
                 buf.release()
-            yield from self._send_mcast_ack(group)
+            yield from self.engine.reliability.send_group_ack(group)
             return
         if h.seq != group.recv_seq + 1:
-            self.out_of_order_dropped += 1
+            self.engine.out_of_order_dropped += 1
             if buf is not None:
                 buf.release()
             return
@@ -71,7 +83,7 @@ class ForwardingMixin:
             # token, and pin a host region for possible retransmission.
             rtoken = port.take_recv_token()
             if rtoken is None:
-                self.no_token_dropped += 1
+                self.engine.no_token_dropped += 1
                 self.sim.record(
                     self.nic.name, "mcast_no_token", group=h.group, seq=h.seq
                 )
@@ -84,7 +96,7 @@ class ForwardingMixin:
             held.app_info = dict(h.info["app"])
         group.recv_seq = h.seq
         yield from self.nic.processing(self.cost.nic_group_lookup)
-        yield from self._send_mcast_ack(group)
+        yield from self.engine.reliability.send_group_ack(group)
 
         # The same SRAM bytes are now wanted by two engines: the transmit
         # path (forwarding replicas) and the receive DMA (host copy).
@@ -124,7 +136,7 @@ class ForwardingMixin:
         h = pkt.header
         yield from self.nic.processing(self.cost.nic_forward_processing)
         yield from self.nic.sram_copy(h.payload)
-        self._arm_mcast_timer(group, record)
+        self.engine.reliability.arm(group, record)
         first, rest = group.children[0], group.children[1:]
         fwd = pkt.clone(src=self.nic.id, dst=first)
         yield from self.nic.processing(self.cost.nic_header_rewrite)
@@ -181,7 +193,7 @@ class ForwardingMixin:
             token=None,
             app_info=held.app_info if h.chunk == 0 and held.app_info else None,
         )
-        group.records[record.seq] = record
+        group.window.add(record)
         held.pending_records += 1
         if h.chunk == h.nchunks - 1:
             held.all_records_created = True
@@ -194,7 +206,7 @@ class ForwardingMixin:
         if not remaining:
             self._drop_ref(desc.buffer, desc.context["refs"])
             return None
-        return self._emit_next_replica(desc, remaining)
+        return self.engine.multisend._emit_next_replica(desc, remaining)
 
     def _drop_ref(self, buf, refbox) -> None:
         refbox["count"] -= 1
@@ -227,4 +239,4 @@ class ForwardingMixin:
                     info=held.app_info,
                 )
             )
-        self._maybe_release_held(group, held)
+        self.engine._maybe_release_held(group, held)

@@ -19,11 +19,13 @@ from typing import TYPE_CHECKING
 from repro.errors import GroupError
 from repro.gm.tokens import SendToken
 from repro.nic.lanai import HostCommand
+from repro.proto import SendWindow
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gm.memory import RegisteredRegion
     from repro.gm.tokens import ReceiveToken
     from repro.mcast.reliability import McastRecord
+    from repro.proto import RetransmitTimer
     from repro.trees.base import SpanningTree
 
 __all__ = [
@@ -77,10 +79,16 @@ class GroupState:
     recv_seq: int = 0
     # (3) per-child acknowledged sequence numbers.
     child_acked: dict[int, int] = field(default_factory=dict)
-    #: unacked send records by seq
+    #: unacked send records by seq (backing dict of ``window``)
     records: dict[int, "McastRecord"] = field(default_factory=dict)
     #: in-progress / held messages by msg_id
     held: dict[int, _HeldMessage] = field(default_factory=dict)
+    #: :class:`~repro.proto.window.SendWindow` view over ``records``
+    window: SendWindow = field(init=False, repr=False)
+    #: retransmission timer, attached lazily by the reliability
+    #: component on first arm (stays with this state across replacement,
+    #: like the timer closures it supersedes)
+    timer: "RetransmitTimer | None" = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.parent is None and self.root is not None:
@@ -88,6 +96,7 @@ class GroupState:
             pass
         for child in self.children:
             self.child_acked.setdefault(child, 0)
+        self.window = SendWindow(self.records)
 
     @property
     def is_root(self) -> bool:

@@ -32,6 +32,7 @@ __all__ = [
     "nic_based_multicast",
     "multicast",
     "next_group_id",
+    "run_scheme",
 ]
 
 _group_ids = count(1)
@@ -155,3 +156,22 @@ def multicast(
         procs.append(cluster.spawn(dest_prog(node_id), name=f"mcast_rx[{node_id}]"))
     cluster.run(until=cluster.sim.all_of(procs))
     return result
+
+
+def run_scheme(
+    cluster: "Cluster",
+    scheme: str,
+    tree: "SpanningTree",
+    size: int,
+) -> dict[str, Any]:
+    """One-shot multicast under any registered scheme.
+
+    ``scheme`` is a key from :mod:`repro.mcast.schemes` (``nic_based``,
+    ``host_based``, ``nic_assisted``, ``fmmc``, ``lfc``, …).  Returns at
+    least ``{"delivered": {node: …}}``; exact shape is scheme-defined.
+    """
+    # Imported lazily: the registry binds every scheme module, several
+    # of which import this one.
+    from repro.mcast.schemes import create_scheme
+
+    return create_scheme(scheme, cluster, tree).run_once(size)

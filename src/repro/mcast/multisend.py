@@ -21,14 +21,27 @@ from repro.nic.descriptor import PacketDescriptor
 from repro.nic.lanai import TX_PRIO_DATA
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mcast.engine import McastEngine
     from repro.mcast.group import GroupState, McastSendCommand
     from repro.mcast.reliability import McastRecord
 
-__all__ = ["MultisendMixin"]
+__all__ = ["Multisend"]
 
 
-class MultisendMixin:
-    """Root-side multisend, mixed into ``McastEngine``."""
+class Multisend:
+    """Root-side multisend: one of ``McastEngine``'s composed components.
+
+    Owns the replica-chain emission (descriptor callbacks), which the
+    forwarding component shares for its own replica chains.
+    """
+
+    def __init__(self, engine: "McastEngine"):
+        self.engine = engine
+        self.nic = engine.nic
+        self.gm = engine.gm
+        self.sim = engine.sim
+        self.cost = engine.cost
+        self.table = engine.table
 
     def _handle_mcast_send(self, cmd: "McastSendCommand") -> Generator:
         token = cmd.token
@@ -49,7 +62,7 @@ class MultisendMixin:
             # Degenerate group: nothing to send; complete immediately.
             token.all_packets_sent = True
             token.unacked_packets = 0
-            self._root_token_complete(group, token)
+            self.engine._root_token_complete(group, token)
             return
         for idx, payload in enumerate(chunks):
             yield from self.nic.processing(self.cost.nic_per_packet_send)
@@ -69,9 +82,9 @@ class MultisendMixin:
         buf = yield self.nic.send_buffers.acquire()
         # The message crosses the PCI bus ONCE, whatever the fanout.
         yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
-        self._arm_mcast_timer(group, record)
+        self.engine.reliability.arm(group, record)
         first, rest = group.children[0], group.children[1:]
-        pkt = self._build_mcast_packet(group, record, first)
+        pkt = self.engine._build_mcast_packet(group, record, first)
         desc = PacketDescriptor(
             pkt,
             buffer=buf,
@@ -103,7 +116,7 @@ class MultisendMixin:
             unacked=set(group.children),
             token=token,
         )
-        group.records[record.seq] = record
+        group.window.add(record)
         token.unacked_packets += 1
         return record
 
@@ -140,8 +153,8 @@ class MultisendMixin:
         if (
             record is not None
             and group is not None
-            and record.seq in group.records
+            and record.seq in group.window
         ):
             record.sent_at = self.sim.now
-            self._arm_mcast_timer(group, record)
+            self.engine.reliability.arm(group, record)
         self.nic.queue_tx(desc, TX_PRIO_DATA)

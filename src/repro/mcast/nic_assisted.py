@@ -84,7 +84,7 @@ class NicAssistedEngine:
                     dst_port=token.dst_port,
                     local_port=token.port_num,
                 )
-                conn.records[record.seq] = record
+                conn.window.add(record)
                 token.unacked_packets += 1
                 jobs.append((conn, record))
             yield from self.nic.processing(self.cost.nic_per_packet_send)
@@ -104,7 +104,7 @@ class NicAssistedEngine:
         (conn, record), rest = jobs[0], jobs[1:]
         pkt = self._packet_for(record, token, chunk_idx)
         record.sent_at = self.sim.now
-        self.gm._arm_timer(conn, record)
+        conn.timer.arm(record)
         desc = PacketDescriptor(
             pkt,
             buffer=buf,
@@ -148,7 +148,7 @@ class NicAssistedEngine:
         token = desc.context["token"]
         desc.packet = self._packet_for(record, token, desc.context["chunk"])
         record.sent_at = self.sim.now
-        self.gm._arm_timer(conn, record)
+        conn.timer.arm(record)
         self.nic.queue_tx(desc, TX_PRIO_DATA)
 
 

@@ -7,6 +7,12 @@ is received, the acknowledged sequence number for that destination is
 updated.  If the record for a packet is timed out, the retransmission of
 the packet and the following ones will be performed only for the
 destinations which have not acknowledged" (paper §5).
+
+The mechanics — send window, per-window timer, Go-back-N sweep — come
+from :mod:`repro.proto`; this module binds them to multicast groups:
+the window is the group's record table, the sweep is the per-child
+*selective* Go-back-N, and retransmitted data is re-fetched from the
+(still registered) host replica.
 """
 
 from __future__ import annotations
@@ -14,16 +20,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.errors import ReproError
-from repro.net.packet import GM_HEADER_BYTES, Packet, PacketHeader, PacketType
+from repro.net.packet import GM_HEADER_BYTES, Packet, PacketType
 from repro.nic.descriptor import PacketDescriptor
-from repro.nic.lanai import TX_PRIO_ACK, TX_PRIO_DATA
+from repro.nic.lanai import TX_PRIO_DATA
+from repro.proto import NEVER, RetransmitTimer, SelectiveGoBackN, send_ack
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gm.tokens import SendToken
+    from repro.mcast.engine import McastEngine
     from repro.mcast.group import GroupState
 
-__all__ = ["McastRecord", "ReliabilityMixin"]
+__all__ = ["McastRecord", "McastReliability"]
 
 
 @dataclass
@@ -44,18 +51,58 @@ class McastRecord:
     token: "SendToken | None" = None
     sent_at: float = 0.0
     retransmits: int = 0
-    generation: int = 0
+    #: absolute retransmission deadline, managed by the group's
+    #: :class:`~repro.proto.timer.RetransmitTimer`.
+    deadline: float = NEVER
     #: application payload info riding on chunk 0 (survives retransmits)
     app_info: dict | None = None
 
 
-class ReliabilityMixin:
-    """Ack handling and per-child Go-back-N retransmission.
+class _McastSelectiveGoBackN(SelectiveGoBackN):
+    """The paper's per-child Go-back-N, bound to one node's engine."""
 
-    Mixed into :class:`~repro.mcast.engine.McastEngine`; expects
-    ``self.nic``, ``self.sim``, ``self.cost``, ``self.table``, and the
-    engine hooks ``_record_completed`` and ``_build_mcast_packet``.
+    __slots__ = ("rel",)
+
+    def __init__(self, rel: "McastReliability"):
+        self.rel = rel
+
+    @property
+    def max_retransmits(self) -> int:
+        return self.rel.cost.max_retransmits
+
+    def count(self, record: McastRecord, *, child: int, group: "GroupState") -> None:
+        self.rel.engine.retransmissions += 1
+
+    def unreachable(self, record: McastRecord, *, child: int, group: "GroupState") -> str:
+        return (
+            f"{self.rel.nic.name}: multicast packet seq={record.seq} "
+            f"group={group.group_id} retransmitted "
+            f"{record.retransmits} times to child {child} — "
+            "peer unreachable"
+        )
+
+    def rearm(self, record: McastRecord, *, group: "GroupState") -> None:
+        self.rel.arm(group, record)
+
+    def resend(self, record: McastRecord, *, child: int, group: "GroupState") -> Generator:
+        yield from self.rel._retransmit_packet(group, record, child)
+
+
+class McastReliability:
+    """Ack handling and per-child Go-back-N for one node's groups.
+
+    One of :class:`~repro.mcast.engine.McastEngine`'s three composed
+    components; reaches back through ``engine`` for record-completion
+    plumbing, packet construction, and statistics.
     """
+
+    def __init__(self, engine: "McastEngine"):
+        self.engine = engine
+        self.nic = engine.nic
+        self.sim = engine.sim
+        self.cost = engine.cost
+        self.table = engine.table
+        self.policy = _McastSelectiveGoBackN(self)
 
     # -- ACK reception ------------------------------------------------------
     def _handle_mcast_ack(self, pkt: Packet, _buf: Any) -> Generator:
@@ -70,105 +117,60 @@ class ReliabilityMixin:
         if h.ack_seq <= group.child_acked[child]:
             return  # stale
         group.child_acked[child] = h.ack_seq
-        for seq in sorted(group.records):
-            if seq > h.ack_seq:
-                break
-            record = group.records[seq]
-            record.unacked.discard(child)
-            if not record.unacked:
-                del group.records[seq]
-                record.generation += 1  # defuse timer
-                self._record_completed(group, record)
+        for record in group.window.ack_from_child(child, h.ack_seq):
+            self.engine._record_completed(group, record)
 
-    def _send_mcast_ack(self, group: "GroupState") -> Generator:
+    def send_group_ack(self, group: "GroupState") -> Generator:
         """Acknowledge the group's current receive seq to the parent."""
         assert group.parent is not None
-        yield from self.nic.processing(self.cost.nic_ack_generation)
-        ack = Packet(
-            header=PacketHeader(
-                ptype=PacketType.MCAST_ACK,
-                src=self.nic.id,
-                dst=group.parent,
-                origin=self.nic.id,
-                group=group.group_id,
-                port=group.port_num,
-                from_port=group.port_num,
-                ack_seq=group.recv_seq,
-                payload=0,
-            )
+        yield from send_ack(
+            self.nic, self.cost,
+            ptype=PacketType.MCAST_ACK,
+            dst=group.parent,
+            port=group.port_num,
+            from_port=group.port_num,
+            ack_seq=group.recv_seq,
+            group=group.group_id,
         )
-        self.nic.queue_tx(PacketDescriptor(ack), TX_PRIO_ACK)
 
     # -- timers -----------------------------------------------------------------
-    def _arm_mcast_timer(self, group: "GroupState", record: McastRecord) -> None:
-        record.generation += 1
-        generation = record.generation
-        self.sim.call_at(
-            self.sim.now + self.cost.ack_timeout,
-            lambda: self._on_mcast_timeout(group, record.seq, generation),
-        )
+    def arm(self, group: "GroupState", record: McastRecord) -> None:
+        """(Re)start *record*'s retransmission clock on its group's timer."""
+        timer = group.timer
+        if timer is None:
+            timer = group.timer = RetransmitTimer(
+                self.sim,
+                self.cost.ack_timeout,
+                group.window,
+                lambda record, group=group: self._expired(group, record),
+            )
+        timer.arm(record)
 
-    def _on_mcast_timeout(
-        self, group: "GroupState", seq: int, generation: int
-    ) -> None:
-        record = group.records.get(seq)
-        if record is None or record.generation != generation:
-            return
-        if seq != min(group.records):
-            self._arm_mcast_timer(group, record)
-            return
+    def _expired(self, group: "GroupState", record: McastRecord) -> None:
+        """The group's oldest unacked record timed out: start the
+        selective Go-back-N sweep toward the laggard children."""
         self.sim.record(
-            self.nic.name, "mcast_timeout", group=group.group_id, seq=seq,
-            unacked=sorted(record.unacked),
+            self.nic.name, "mcast_timeout", group=group.group_id,
+            seq=record.seq, unacked=sorted(record.unacked),
         )
         self.sim.process(
-            self._retransmit_to_laggards(group, seq),
+            self.policy.sweep(group.window, record.seq, group=group),
             name=f"{self.nic.name}.mcast_gbn",
         )
-
-    def _retransmit_to_laggards(
-        self, group: "GroupState", from_seq: int
-    ) -> Generator:
-        """Selective Go-back-N: resend ``from_seq`` and successors, but
-        only to children that have not acknowledged each packet.
-
-        Data is re-fetched from (still registered) host memory — the
-        receive buffer was released when forwarding completed.
-        """
-        laggards = {
-            child
-            for seq in group.records
-            if seq >= from_seq
-            for child in group.records[seq].unacked
-        }
-        for child in sorted(laggards):
-            for seq in sorted(group.records):
-                if seq < from_seq:
-                    continue
-                record = group.records.get(seq)
-                if record is None or child not in record.unacked:
-                    continue
-                record.retransmits += 1
-                self.retransmissions += 1
-                if record.retransmits > self.cost.max_retransmits:
-                    raise ReproError(
-                        f"{self.nic.name}: multicast packet seq={seq} "
-                        f"group={group.group_id} retransmitted "
-                        f"{record.retransmits} times to child {child} — "
-                        "peer unreachable"
-                    )
-                self._arm_mcast_timer(group, record)
-                yield from self._retransmit_packet(group, record, child)
 
     def _retransmit_packet(
         self, group: "GroupState", record: McastRecord, child: int
     ) -> Generator:
-        """Stage one retransmission to one child from host memory."""
+        """Stage one retransmission to one child from host memory.
+
+        Data is re-fetched from (still registered) host memory — the
+        receive buffer was released when forwarding completed.
+        """
         buf = yield self.nic.send_buffers.acquire()
         yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
         yield from self.nic.processing(self.cost.nic_per_packet_send)
         record.sent_at = self.sim.now
-        pkt = self._build_mcast_packet(group, record, child)
+        pkt = self.engine._build_mcast_packet(group, record, child)
         self.sim.record(
             self.nic.name, "mcast_retransmit", group=group.group_id,
             seq=record.seq, child=child, attempt=record.retransmits,

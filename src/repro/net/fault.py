@@ -49,6 +49,13 @@ class BernoulliLoss(LossModel):
 
     ``kinds`` restricts the loss to specific packet types (e.g. only data,
     or only acks — useful for exercising distinct retransmission paths).
+
+    The RNG normally comes from the simulator's named stream at
+    :meth:`bind` time (keeping loss decisions reproducible per seed and
+    independent of other random consumers).  ``seed`` provides a private
+    fallback RNG for standalone use — sampling a model outside any
+    simulator, or before a network binds it; a later ``bind`` replaces
+    the fallback with the simulator's stream.
     """
 
     def __init__(
@@ -56,13 +63,16 @@ class BernoulliLoss(LossModel):
         rate: float,
         kinds: Iterable[PacketType] | None = None,
         stream: str = "loss",
+        seed: int | None = None,
     ):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {rate}")
         self.rate = rate
         self.kinds = frozenset(kinds) if kinds is not None else None
         self.stream = stream
-        self._rng: random.Random | None = None
+        self._rng: random.Random | None = (
+            random.Random(seed) if seed is not None else None
+        )
         self.dropped = 0
 
     def bind(self, sim: "Simulator") -> None:
@@ -86,8 +96,10 @@ class BitErrorLoss(BernoulliLoss):
     the physically faithful model for the paper's reliability argument.
     """
 
-    def __init__(self, ber: float, stream: str = "loss"):
-        super().__init__(rate=0.0, stream=stream)
+    def __init__(
+        self, ber: float, stream: str = "loss", seed: int | None = None
+    ):
+        super().__init__(rate=0.0, stream=stream, seed=seed)
         if not 0.0 <= ber < 1.0:
             raise ValueError(f"bit error rate must be in [0, 1), got {ber}")
         self.ber = ber

@@ -1,9 +1,13 @@
 """Benchmark harness: kernel events/sec and per-figure sweep timing.
 
-Two measurements back the performance claims in ``docs/performance.md``:
+Three measurements back the performance claims in ``docs/performance.md``:
 
 * **Kernel microbenchmark** — a tight timeout-pump process measures raw
   events/sec through ``Simulator.step`` with no protocol stack on top.
+* **Timer churn** — a lossy multicast workload counts retransmission
+  timer (re)arms, heap callbacks, and stale fires, compared against the
+  pre-refactor per-record ``call_at`` numbers measured on the same
+  workload.
 * **Figure cells** — each sweep figure's ``--quick`` grid is run twice,
   serially (``jobs=1``) and fanned across all CPUs, with wall-clock,
   kernel events, events/sec, and a byte-identity check between the two
@@ -30,12 +34,29 @@ from repro.experiments import FIGURES
 from repro.experiments.parallel import default_jobs
 from repro.perf.counters import KERNEL_COUNTERS
 
-__all__ = ["bench_event_loop", "bench_figure", "run_bench", "main"]
+__all__ = [
+    "bench_event_loop",
+    "bench_timer_churn",
+    "bench_figure",
+    "run_bench",
+    "main",
+]
 
 #: Figures with parallelizable sweep grids (fig1/fig2 are single probes).
 SWEEP_FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7")
 SMOKE_FIGURES = ("fig3",)
 DEFAULT_OUTPUT = "BENCH_kernel.json"
+
+#: Timer churn measured on :func:`bench_timer_churn`'s exact workload
+#: under the pre-refactor per-record ``call_at(lambda …)`` scheme (one
+#: heap callback per (re)arm, generation-checked at pop).  Recorded as a
+#: constant so the report can show before/after without keeping the old
+#: implementation alive.
+PRE_REFACTOR_TIMER_CHURN = {
+    "heap_callbacks": 141,
+    "fires": 117,
+    "stale_fires": 116,
+}
 
 
 def bench_event_loop(
@@ -77,6 +98,85 @@ def bench_event_loop(
         "wall_s": round(wall, 4),
         "events_per_sec": round(events / wall) if wall > 0 else None,
         "repeat_rates": rates,
+    }
+
+
+def bench_timer_churn(rounds: int = 20) -> dict[str, Any]:
+    """Retransmission-timer heap pressure on a lossy multicast workload.
+
+    Twenty 4 KiB multicasts over an 8-node optimal tree with one forced
+    retransmission — enough acks and replica refreshes that the old
+    per-record ``call_at(lambda …)`` pattern spent >95% of its timer
+    fires on stale closures.  The ``before`` numbers were measured on
+    this exact workload before :class:`repro.proto.timer.RetransmitTimer`
+    replaced that pattern (see :data:`PRE_REFACTOR_TIMER_CHURN`);
+    ``after`` comes from :data:`~repro.perf.counters.KERNEL_COUNTERS`
+    live.  ``arm_requests`` should match the old heap-callback count —
+    the protocol issues the same (re)arms, the per-window timer just
+    stops turning each one into heap garbage.
+    """
+    from repro.cluster import Cluster
+    from repro.config import ClusterConfig
+    from repro.gm.params import GMCostModel
+    from repro.mcast.manager import install_group
+    from repro.net.fault import ScriptedLoss
+    from repro.net.packet import PacketType
+    from repro.trees import build_tree
+
+    n, size = 8, 4096
+    cost = GMCostModel()
+    loss = ScriptedLoss(
+        lambda p: p.header.ptype is PacketType.MCAST_DATA
+        and p.header.seq == 1,
+        times=1,
+    )
+    cluster = Cluster(
+        ClusterConfig(n_nodes=n, cost=cost, seed=0), loss=loss
+    )
+    dests = list(range(1, n))
+    tree = build_tree(0, dests, shape="optimal", cost=cost, size=size)
+    install_group(cluster, 1, tree)
+
+    def root() -> Generator:
+        for _ in range(rounds):
+            handle = yield from cluster.node(0).mcast.multicast_send(
+                cluster.port(0), 1, size
+            )
+            yield handle.done
+
+    def member(i: int) -> Generator:
+        port = cluster.port(i)
+        for _ in range(rounds):
+            yield from port.receive()
+            yield from port.provide_receive_buffer()
+
+    KERNEL_COUNTERS.reset()
+    procs = [cluster.spawn(root())] + [
+        cluster.spawn(member(i)) for i in dests
+    ]
+    cluster.run(until=cluster.sim.all_of(procs))
+    snap = KERNEL_COUNTERS.snapshot()
+
+    before = dict(PRE_REFACTOR_TIMER_CHURN)
+    after = {
+        "arm_requests": snap["timers_armed"],
+        "heap_callbacks": snap["timers_scheduled"],
+        "fires": snap["timer_fires"],
+        "stale_fires": snap["timer_stale_fires"],
+    }
+    return {
+        "workload": (
+            f"{rounds}x {size}B multicast, {n}-node optimal tree, "
+            "one forced retransmission"
+        ),
+        "before": before,
+        "after": after,
+        "heap_callbacks_avoided": (
+            before["heap_callbacks"] - after["heap_callbacks"]
+        ),
+        "stale_fires_avoided": (
+            before["stale_fires"] - after["stale_fires"]
+        ),
     }
 
 
@@ -135,6 +235,7 @@ def run_bench(
         "jobs": jobs,
         "quick": quick,
         "kernel": bench_event_loop(loop_events),
+        "timers": bench_timer_churn(),
         "figures": {},
     }
     for figure_id in figures:

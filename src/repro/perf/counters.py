@@ -20,20 +20,48 @@ __all__ = ["KernelCounters", "KERNEL_COUNTERS"]
 
 
 class KernelCounters:
-    """Process-global tallies maintained by the simulation kernel."""
+    """Process-global tallies maintained by the simulation kernel.
 
-    __slots__ = ("events", "simulators")
+    The ``timer*`` counters are maintained by
+    :class:`repro.proto.timer.RetransmitTimer` and quantify event-heap
+    pressure from retransmission timers:
+
+    ``timers_armed``
+        protocol-level (re)arm requests — exactly the number of heap
+        callbacks the old per-record ``call_at(lambda …)`` pattern
+        pushed, so ``timers_armed - timers_scheduled`` is the heap
+        garbage the per-window timer object avoids;
+    ``timers_scheduled``
+        heap callbacks the per-window timer actually scheduled;
+    ``timer_fires``
+        timer callbacks that popped;
+    ``timer_stale_fires``
+        fires that found nothing overdue (every record acked or
+        re-armed since scheduling) — pure heap churn.
+    """
+
+    __slots__ = (
+        "events",
+        "simulators",
+        "timers_armed",
+        "timers_scheduled",
+        "timer_fires",
+        "timer_stale_fires",
+    )
 
     def __init__(self) -> None:
-        self.events = 0
-        self.simulators = 0
+        self.reset()
 
     def reset(self) -> None:
         self.events = 0
         self.simulators = 0
+        self.timers_armed = 0
+        self.timers_scheduled = 0
+        self.timer_fires = 0
+        self.timer_stale_fires = 0
 
     def snapshot(self) -> dict[str, int]:
-        return {"events": self.events, "simulators": self.simulators}
+        return {name: getattr(self, name) for name in self.__slots__}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<KernelCounters events={self.events} sims={self.simulators}>"

@@ -1,0 +1,132 @@
+"""Retransmission policies: what to resend when the oldest record expires.
+
+The sweep skeleton — walk the window from the expired sequence number,
+count the attempt, escalate past ``max_retransmits``, hand each record
+to the transport — is identical for GM unicast and NIC-based multicast;
+only the *selection* differs:
+
+* :class:`GoBackN` — "the sender will retransmit the packet, as well as
+  all the later packets from the same port" (paper §4);
+* :class:`SelectiveGoBackN` — "the retransmission of the packet and the
+  following ones will be performed only for the destinations which have
+  not acknowledged" (paper §5).
+
+A policy class owns the selection loop; the owning engine subclasses it
+to supply the transport hooks (:meth:`RetransmitPolicy.resend`, the
+escalation message, the statistics counter).  A future selective-repeat
+or adaptive-backoff scheme is a new policy class here — not a third
+copy of the loop in an engine.
+
+Policies are driven from :class:`repro.proto.timer.RetransmitTimer`'s
+``on_expire`` hook, typically as a freshly spawned simulation process:
+``sim.process(policy.sweep(window, from_seq, …))``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ReproError
+from repro.proto.window import SendWindow
+
+__all__ = ["RetransmitPolicy", "GoBackN", "SelectiveGoBackN"]
+
+
+class RetransmitPolicy:
+    """Template for a retransmission sweep over a :class:`SendWindow`.
+
+    Subclasses implement :meth:`sweep` (the selection loop) using
+    :meth:`attempt` for the shared bump/count/escalate step, and the
+    transport hooks below.
+    """
+
+    __slots__ = ()
+
+    #: Retransmission cap before escalation.  Engine-bound subclasses
+    #: expose the cost model's value as a property so configuration
+    #: stays live.
+    max_retransmits: int
+
+    # -- the sweep ---------------------------------------------------------
+    def sweep(self, window: SendWindow, from_seq: int, **ctx: Any) -> Generator:
+        """Resend what this policy selects, as a simulation coroutine.
+
+        ``ctx`` carries transport context (the connection or group the
+        window belongs to) through to the hooks.
+        """
+        raise NotImplementedError
+
+    def attempt(self, record: Any, **ctx: Any) -> None:
+        """One more (re)transmission attempt: count it, escalate past
+        the cap with the transport's "peer unreachable" diagnosis."""
+        record.retransmits += 1
+        self.count(record, **ctx)
+        if record.retransmits > self.max_retransmits:
+            raise ReproError(self.unreachable(record, **ctx))
+
+    # -- transport hooks (engine-supplied) ---------------------------------
+    def count(self, record: Any, **ctx: Any) -> None:
+        """Bump the owning engine's retransmission statistics."""
+        raise NotImplementedError
+
+    def unreachable(self, record: Any, **ctx: Any) -> str:
+        """Escalation message once ``max_retransmits`` is exceeded."""
+        raise NotImplementedError
+
+    def resend(self, record: Any, **ctx: Any) -> Generator:
+        """Transport coroutine that puts *record* back on the wire."""
+        raise NotImplementedError
+
+
+class GoBackN(RetransmitPolicy):
+    """Unicast Go-back-N: the expired record and every later unacked one.
+
+    The window is snapshotted once; records acked while earlier ones
+    were being retransmitted are skipped.
+    """
+
+    __slots__ = ()
+
+    def sweep(self, window: SendWindow, from_seq: int, **ctx: Any) -> Generator:
+        for seq in window.seqs():
+            if seq < from_seq:
+                continue
+            record = window.get(seq)
+            if record is None:
+                continue  # acked while we were retransmitting predecessors
+            self.attempt(record, **ctx)
+            yield from self.resend(record, **ctx)
+
+
+class SelectiveGoBackN(RetransmitPolicy):
+    """Per-child Go-back-N for one-to-many windows.
+
+    Resends the expired record and its successors, but each packet only
+    to the children still present in its ``unacked`` set, grouped by
+    child so one laggard's recovery stream stays in sequence order.  The
+    window is sorted **once** per sweep (the pre-refactor code re-sorted
+    it for every child).
+    """
+
+    __slots__ = ()
+
+    def sweep(self, window: SendWindow, from_seq: int, **ctx: Any) -> Generator:
+        seqs = [seq for seq in window.seqs() if seq >= from_seq]
+        laggards = {
+            child
+            for seq in seqs
+            for child in window.records[seq].unacked
+        }
+        for child in sorted(laggards):
+            for seq in seqs:
+                record = window.get(seq)
+                if record is None or child not in record.unacked:
+                    continue
+                self.attempt(record, child=child, **ctx)
+                self.rearm(record, **ctx)
+                yield from self.resend(record, child=child, **ctx)
+
+    def rearm(self, record: Any, **ctx: Any) -> None:
+        """Restart the record's timer before the resend goes out (the
+        multicast engine re-arms eagerly; override as appropriate)."""
+        raise NotImplementedError

@@ -1,0 +1,135 @@
+"""The per-window retransmission timer.
+
+GM's firmware keeps *one* conceptual retransmission clock per
+connection: "if the sender times out on the oldest unacknowledged
+record, the sender will retransmit the packet, as well as all the later
+packets from the same port" (paper §4).  The repo's first implementation
+scheduled one ``call_at(lambda …)`` per record per (re)arm — every ack
+or replica refresh left a dead closure in the event heap that popped
+later, checked a generation counter, and bailed out stale.  On a lossy
+multicast run >95% of timer fires were such garbage (see
+``BENCH_kernel.json``, ``timers`` section).
+
+:class:`RetransmitTimer` replaces that pattern.  It keeps **at most one
+outstanding heap callback per window**:
+
+* :meth:`arm` stamps the record's absolute ``deadline`` and only touches
+  the heap when no callback is outstanding (with a fixed timeout the
+  outstanding pop time is never later than a fresh deadline);
+* when the callback pops it scans the window: if the *oldest* record is
+  overdue it is handed to ``on_expire`` (which traces the timeout and
+  starts the retransmission policy) and marked swept (deadline
+  ``NEVER``) so it cannot fire again until explicitly re-armed — exactly
+  the old consumed-callback behaviour; younger overdue records are
+  re-armed in place ("re-arm so it still fires if it *becomes* the
+  oldest"); then one callback is rescheduled at the earliest remaining
+  deadline, if any;
+* acking a record requires **no** timer work at all: retirement from the
+  window is the defusing.
+
+The observable schedule is unchanged by construction: a real timeout
+still fires at ``last_arm + timeout`` of the oldest unacked record, and
+stale pops were no-ops before.  What changes is heap pressure — counted
+in :data:`repro.perf.counters.KERNEL_COUNTERS`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.perf.counters import KERNEL_COUNTERS
+from repro.proto.window import NEVER, SendWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["RetransmitTimer"]
+
+
+class RetransmitTimer:
+    """One retransmission timer for one :class:`SendWindow`."""
+
+    __slots__ = ("sim", "timeout", "window", "on_expire", "_next")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        timeout: float,
+        window: SendWindow,
+        on_expire: Callable[[Any], None],
+    ):
+        if timeout <= 0:
+            raise ValueError(f"retransmit timeout must be positive: {timeout}")
+        self.sim = sim
+        self.timeout = timeout
+        self.window = window
+        #: Called with the overdue oldest record; must (eventually)
+        #: re-arm or retire it — the record is swept until then.
+        self.on_expire = on_expire
+        #: Absolute pop time of the outstanding heap callback, or None.
+        self._next: float | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RetransmitTimer next={self._next} "
+            f"outstanding={len(self.window)}>"
+        )
+
+    @property
+    def idle(self) -> bool:
+        """True when no heap callback is outstanding."""
+        return self._next is None
+
+    def arm(self, record: Any) -> None:
+        """(Re)start *record*'s retransmission clock from now."""
+        record.deadline = self.sim.now + self.timeout
+        KERNEL_COUNTERS.timers_armed += 1
+        if self._next is None:
+            # No callback in flight: schedule one at this deadline.  An
+            # outstanding callback always pops at or before any fresh
+            # deadline (fixed timeout), so it covers this arm lazily.
+            self._schedule(record.deadline)
+
+    def _schedule(self, when: float) -> None:
+        self._next = when
+        KERNEL_COUNTERS.timers_scheduled += 1
+        self.sim.call_at(when, self._fire)
+
+    def _fire(self) -> None:
+        self._next = None
+        KERNEL_COUNTERS.timer_fires += 1
+        records = self.window.records
+        now = self.sim.now
+        expired = None
+        if records:
+            seqs = sorted(records)
+            oldest = seqs[0]
+            for seq in seqs:
+                record = records[seq]
+                if record.deadline > now:
+                    continue
+                if seq == oldest:
+                    # Only the oldest unacked record drives
+                    # retransmission (as in GM).  Sweep it — no timer
+                    # until the retransmission path re-arms it.
+                    record.deadline = NEVER
+                    expired = record
+                else:
+                    # A younger packet rides in the oldest record's
+                    # Go-back-N; re-arm so it still fires if it
+                    # *becomes* the oldest.
+                    record.deadline = now + self.timeout
+                    KERNEL_COUNTERS.timers_armed += 1
+        if expired is not None:
+            self.on_expire(expired)
+        else:
+            KERNEL_COUNTERS.timer_stale_fires += 1
+        # One callback at the earliest remaining deadline, if any (unless
+        # on_expire already armed synchronously and re-scheduled).
+        if self._next is None:
+            nxt = NEVER
+            for record in records.values():
+                if record.deadline < nxt:
+                    nxt = record.deadline
+            if nxt < NEVER:
+                self._schedule(nxt)

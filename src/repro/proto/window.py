@@ -1,0 +1,117 @@
+"""The send window: one table of unacknowledged send records.
+
+"For each packet given to the NIC to transmit, GM keeps a send record
+with a timestamp" (paper §4); multicast keeps "the same sequence number
+and send record" per group (§5).  Both tables behave identically —
+records are added in sequence order, retired by cumulative acks, and
+scanned from the oldest on timeout — so both are instances of this one
+class.
+
+A record stored in a window is any object with the attributes
+
+``seq``
+    the per-window sequence number (dict key, orders the window);
+``deadline``
+    absolute simulation time at which the retransmission timer should
+    consider the record overdue (managed by
+    :class:`repro.proto.timer.RetransmitTimer`; ``NEVER`` when unarmed);
+``retransmits``
+    how many times the record has been resent (managed by the policies).
+
+The multicast record additionally carries ``unacked`` — the set of
+children that have not yet acknowledged it — consumed by
+:meth:`SendWindow.ack_from_child`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["NEVER", "SendWindow"]
+
+#: Deadline sentinel for "no timer armed": sorts after every real time,
+#: so an unarmed (or already-expired-and-swept) record never reads as
+#: due.  ``float("inf")`` rather than ``None`` keeps deadline
+#: comparisons branch-free on the timer's scan.
+NEVER = float("inf")
+
+
+class SendWindow:
+    """Unacknowledged send records, keyed and ordered by sequence number.
+
+    The window may *wrap* an existing dict (``SendWindow(backing)``) so
+    legacy attributes like ``Connection.records`` and
+    ``GroupState.records`` stay valid views of the same state, or own a
+    fresh one.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: dict[int, Any] | None = None):
+        #: seq -> record; shared with the owning connection/group.
+        self.records: dict[int, Any] = {} if records is None else records
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self.records
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SendWindow {sorted(self.records)}>"
+
+    # -- record management -------------------------------------------------
+    def add(self, record: Any) -> Any:
+        """Insert *record* under its ``seq``."""
+        self.records[record.seq] = record
+        return record
+
+    def get(self, seq: int) -> Any | None:
+        return self.records.get(seq)
+
+    def pop(self, seq: int) -> Any | None:
+        return self.records.pop(seq, None)
+
+    def seqs(self) -> list[int]:
+        """All outstanding sequence numbers, oldest first."""
+        return sorted(self.records)
+
+    def oldest(self) -> int | None:
+        """The oldest unacked seq — the only one whose expiry triggers
+        retransmission (as in GM; younger records ride its Go-back-N)."""
+        return min(self.records) if self.records else None
+
+    # -- acknowledgment processing -----------------------------------------
+    def ack_cumulative(self, ack_seq: int) -> Iterator[Any]:
+        """Retire and yield every record with ``seq <= ack_seq``.
+
+        Popping the record *is* the timer defusing: the window timer
+        consults the table, so a retired record can never fire (the old
+        per-record scheme needed a generation bump here).
+        """
+        records = self.records
+        for seq in sorted(records):
+            if seq > ack_seq:
+                break
+            yield records.pop(seq)
+
+    def ack_from_child(self, child: int, ack_seq: int) -> Iterator[Any]:
+        """Per-child cumulative ack for one-to-many windows.
+
+        Discards *child* from the ``unacked`` set of every record up to
+        ``ack_seq``; records whose last child just acknowledged are
+        retired and yielded (in sequence order).
+        """
+        records = self.records
+        for seq in sorted(records):
+            if seq > ack_seq:
+                break
+            record = records[seq]
+            record.unacked.discard(child)
+            if not record.unacked:
+                del records[seq]
+                yield record

@@ -175,3 +175,118 @@ def test_sequential_mcasts_with_loss_stay_ordered():
     cluster.run(until=cluster.sim.all_of(procs))
     for i in (1, 2, 3):
         assert received[i] == [50 + k for k in range(8)]
+
+
+def test_partitioned_child_escalates_to_unreachable():
+    # A child that never receives any multicast data exhausts the
+    # sender's retransmission budget and fails loudly, naming the child.
+    from repro.errors import ReproError
+
+    cost = GMCostModel(max_retransmits=3, ack_timeout=50.0)
+    loss = ScriptedLoss(
+        lambda p: p.header.ptype is PacketType.MCAST_DATA
+        and p.header.dst == 3,
+        times=10_000,
+    )
+    with pytest.raises(ReproError, match="peer unreachable"):
+        run_mcast(loss, n=5, shape="flat", cost=cost)
+
+
+def test_partitioned_child_error_names_the_child():
+    from repro.errors import ReproError
+
+    cost = GMCostModel(max_retransmits=2, ack_timeout=50.0)
+    loss = ScriptedLoss(
+        lambda p: p.header.ptype is PacketType.MCAST_ACK
+        and p.header.src == 2,
+        times=10_000,
+    )
+    with pytest.raises(ReproError, match=r"child 2"):
+        run_mcast(loss, n=4, shape="flat", cost=cost)
+
+
+def test_out_of_order_forwarded_packet_dropped_and_recovered():
+    # Drop multicast seq 1 on the wire into node 1: seq 2 then arrives
+    # out of order, is counted and dropped, and go-back-N retransmission
+    # delivers both messages in order.
+    from repro.mcast.manager import install_group, nic_based_multicast
+
+    cost = GMCostModel(ack_timeout=100.0)
+    loss = ScriptedLoss(
+        lambda p: p.header.ptype is PacketType.MCAST_DATA
+        and p.header.dst == 1
+        and p.header.seq == 1
+    )
+    cluster = Cluster(ClusterConfig(n_nodes=3, seed=5, cost=cost), loss=loss)
+    tree = build_tree(0, [1, 2], shape="chain")
+    install_group(cluster, 91, tree)
+    received = {1: [], 2: []}
+
+    def root():
+        for k in range(2):
+            yield from nic_based_multicast(cluster, 91, 64 + k, 0)
+
+    def rx(i):
+        port = cluster.port(i)
+        for _ in range(2):
+            completion = yield from port.receive()
+            received[i].append(completion.size)
+
+    procs = [cluster.spawn(root())] + [
+        cluster.spawn(rx(i)) for i in (1, 2)
+    ]
+    cluster.run(until=cluster.sim.all_of(procs))
+    cluster.run()
+    assert received[1] == [64, 65]
+    assert received[2] == [64, 65]
+    assert cluster.node(1).mcast.out_of_order_dropped >= 1
+    assert cluster.node(0).mcast.retransmissions >= 1
+
+
+def test_unknown_group_drop_with_lost_retransmission():
+    # Membership races the data (unknown-group drop at the late node),
+    # and the recovery retransmission itself is lost once: a second
+    # timeout round must still deliver.
+    from repro.mcast.group import local_views
+    from repro.mcast.manager import next_group_id, nic_based_multicast
+
+    cost = GMCostModel(ack_timeout=100.0)
+    loss = ScriptedLoss(
+        lambda p: p.header.ptype is PacketType.MCAST_DATA
+        and p.header.src == 1
+        and p.header.dst == 2,
+        times=1,
+    )
+    cluster = Cluster(ClusterConfig(n_nodes=3, seed=6, cost=cost), loss=loss)
+    tree = build_tree(0, [1, 2], shape="chain")
+    gid = next_group_id()
+    views = local_views(gid, tree)
+    cluster.node(0).mcast.install_group_now(views[0])
+    cluster.node(1).mcast.install_group_now(views[1])
+    delivered = {}
+
+    def root():
+        handle = yield from nic_based_multicast(cluster, gid, 256, 0)
+        yield handle.done
+
+    def late_installer():
+        yield cluster.sim.timeout(250.0)
+        cluster.node(2).mcast.install_group_now(views[2])
+
+    def member(i):
+        completion = yield from cluster.port(i).receive()
+        assert completion.group == gid
+        delivered[i] = cluster.now
+
+    procs = [
+        cluster.spawn(root()),
+        cluster.spawn(late_installer()),
+        cluster.spawn(member(1)),
+        cluster.spawn(member(2)),
+    ]
+    cluster.run(until=cluster.sim.all_of(procs))
+    cluster.run()
+    assert delivered[2] > 250.0
+    assert loss.dropped == 1  # the scripted loss actually fired
+    assert cluster.node(2).mcast.unknown_group_dropped >= 1
+    assert cluster.node(1).mcast.retransmissions >= 2

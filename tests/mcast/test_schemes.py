@@ -1,0 +1,135 @@
+"""Tests for the multicast scheme registry (repro.mcast.schemes)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.mcast.features import SCHEMES as FEATURE_SCHEMES
+from repro.mcast.manager import run_scheme
+from repro.mcast.schemes import (
+    BoundScheme,
+    SchemeSpec,
+    available_schemes,
+    create_scheme,
+    get_scheme,
+    register_scheme,
+    resolve_scheme,
+)
+from repro.trees import build_tree
+
+
+def _cluster_and_tree(n=8):
+    cluster = Cluster(ClusterConfig(n_nodes=n))
+    tree = build_tree(0, range(1, n), shape="binomial")
+    return cluster, tree
+
+
+class TestRegistry:
+    def test_paper_schemes_registered(self):
+        keys = available_schemes()
+        for key in ("nic_based", "nic_multisend", "host_based",
+                    "nic_assisted", "fmmc", "lfc"):
+            assert key in keys
+
+    def test_every_scheme_constructible(self):
+        for key in available_schemes():
+            cluster, tree = _cluster_and_tree()
+            bound = create_scheme(key, cluster, tree)
+            assert isinstance(bound, BoundScheme)
+            assert bound.spec.key == key
+
+    def test_unknown_key_lists_alternatives(self):
+        with pytest.raises(ValueError, match="nic_based"):
+            get_scheme("carrier_pigeon")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scheme("nic_based")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme(spec)
+
+    def test_feature_links_resolve(self):
+        # Every spec's feature row must exist in the Fig. 1 data.
+        for key in available_schemes():
+            spec = get_scheme(key)
+            if spec.feature_key is not None:
+                assert spec.features is FEATURE_SCHEMES[spec.feature_key]
+            else:
+                assert spec.features is None
+
+    def test_legacy_names_are_context_dependent(self):
+        # "nb" is the flat-group multisend in the Fig. 3 harness but the
+        # full NIC-based scheme in the Fig. 5 harness.
+        assert resolve_scheme("nb", context="multisend") == "nic_multisend"
+        assert resolve_scheme("nb", context="multicast") == "nic_based"
+        assert resolve_scheme("hb", context="multisend") == "host_based"
+        assert resolve_scheme("hb", context="multicast") == "host_based"
+        # Canonical keys pass through any context.
+        assert resolve_scheme("nic_assisted") == "nic_assisted"
+        with pytest.raises(ValueError, match="unknown"):
+            resolve_scheme("nb", context="nonsense")
+
+    def test_default_trees(self):
+        assert get_scheme("nic_based").default_tree == "optimal"
+        assert get_scheme("nic_multisend").default_tree == "flat"
+        assert get_scheme("host_based").default_tree == "binomial"
+        assert get_scheme("nic_based").tree_uses_cost
+
+    def test_spec_is_frozen(self):
+        spec = get_scheme("nic_based")
+        with pytest.raises(AttributeError):
+            spec.key = "other"
+        assert isinstance(spec, SchemeSpec)
+
+
+class TestRunScheme:
+    @pytest.mark.parametrize(
+        "key",
+        ["nic_based", "nic_multisend", "host_based", "nic_assisted", "fmmc"],
+    )
+    def test_all_destinations_delivered(self, key):
+        cluster, tree = _cluster_and_tree()
+        result = run_scheme(cluster, key, tree, 1024)
+        assert sorted(result["delivered"]) == list(range(1, 8))
+
+    def test_lfc_runs_on_abstract_fabric(self):
+        cluster, tree = _cluster_and_tree()
+        result = run_scheme(cluster, "lfc", tree, 64)
+        # Every non-root node saw multicast 0 exactly once.
+        for node_id in range(1, 8):
+            assert result["delivered"][node_id] == [0]
+
+    def test_nic_based_matches_manager_multicast(self):
+        from repro.mcast.manager import multicast
+
+        cluster, tree = _cluster_and_tree()
+        via_registry = run_scheme(cluster, "nic_based", tree, 2048)
+
+        cluster2, tree2 = _cluster_and_tree()
+        direct = multicast(cluster2, tree2, 2048)
+        assert via_registry["delivered"] == direct["delivered"]
+
+
+class TestRunnerUsesRegistry:
+    def test_measure_multisend_accepts_canonical_keys(self):
+        from repro.experiments.runner import measure_multisend
+
+        legacy = measure_multisend(3, 256, "nb", iterations=3, warmup=1)
+        canonical = measure_multisend(
+            3, 256, "nic_multisend", iterations=3, warmup=1
+        )
+        assert legacy == canonical
+
+    def test_measure_gm_multicast_accepts_canonical_keys(self):
+        from repro.experiments.runner import measure_gm_multicast
+
+        legacy = measure_gm_multicast(4, 256, "nb", iterations=3, warmup=1)
+        canonical = measure_gm_multicast(
+            4, 256, "nic_based", iterations=3, warmup=1
+        )
+        assert legacy.latency == canonical.latency
+
+    def test_unknown_scheme_raises(self):
+        from repro.experiments.runner import measure_gm_multicast
+
+        with pytest.raises(ValueError, match="unknown"):
+            measure_gm_multicast(4, 256, "smoke_signals", iterations=1)

@@ -73,6 +73,42 @@ def test_bernoulli_needs_bind():
         loss.should_drop(data_packet(), 0.0)
 
 
+def test_bernoulli_seed_fallback_works_unbound():
+    loss = BernoulliLoss(0.5, seed=42)
+    drops = [loss.should_drop(data_packet(seq=i), 0.0) for i in range(100)]
+    assert loss.dropped == sum(drops)
+    assert 0 < loss.dropped < 100
+    # Same seed, same decisions.
+    replay = BernoulliLoss(0.5, seed=42)
+    assert drops == [
+        replay.should_drop(data_packet(seq=i), 0.0) for i in range(100)
+    ]
+
+
+def test_bit_error_seed_fallback_works_unbound():
+    loss = BitErrorLoss(1e-5, seed=7)
+    drops = sum(
+        loss.should_drop(data_packet(payload=4096), 0.0) for _ in range(200)
+    )
+    assert drops == loss.dropped > 0
+    replay = BitErrorLoss(1e-5, seed=7)
+    assert drops == sum(
+        replay.should_drop(data_packet(payload=4096), 0.0) for _ in range(200)
+    )
+
+
+def test_bind_replaces_seed_fallback():
+    # Two models with different fallback seeds converge once bound to
+    # the same simulator stream — bind() owns reproducibility in-sim.
+    def decisions(seed):
+        sim = Simulator(seed=3)
+        loss = BernoulliLoss(0.5, seed=seed)
+        loss.bind(sim)
+        return [loss.should_drop(data_packet(seq=i), 0.0) for i in range(50)]
+
+    assert decisions(1) == decisions(99)
+
+
 def test_bernoulli_statistics():
     loss = BernoulliLoss(0.3)
     _, got = run_with_loss(loss, [data_packet(seq=i) for i in range(500)])

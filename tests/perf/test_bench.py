@@ -47,3 +47,17 @@ def test_smoke_benchmark_writes_valid_json(tmp_path, capsys):
         else:
             assert "parallel_comparison" not in entry
     assert report["totals"]["all_outputs_identical"] is True
+
+
+def test_timer_churn_reports_before_and_after():
+    from repro.perf.bench_kernel import bench_timer_churn
+
+    report = bench_timer_churn()
+    # The protocol issues exactly as many (re)arm requests as the old
+    # per-record scheme pushed heap callbacks — behaviour preserved...
+    assert report["after"]["arm_requests"] == report["before"]["heap_callbacks"]
+    # ...while the per-window timer collapses the heap traffic.
+    assert report["after"]["heap_callbacks"] < report["before"]["heap_callbacks"]
+    assert report["after"]["stale_fires"] < report["before"]["stale_fires"]
+    assert report["after"]["fires"] >= 1  # the forced retransmission fired
+    assert report["heap_callbacks_avoided"] > 0

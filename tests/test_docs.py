@@ -8,7 +8,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 def test_required_documents_exist():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
-                 "docs/protocol.md"):
+                 "docs/protocol.md", "docs/architecture.md"):
         assert (REPO / name).is_file(), name
 
 

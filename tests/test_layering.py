@@ -1,0 +1,36 @@
+"""The import-layering rules from docs/architecture.md hold."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "tools" / "check_layering.py"
+
+
+def test_layering_clean():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_checker_sees_through_guards():
+    # The checker must ignore TYPE_CHECKING-only imports but catch
+    # runtime ones, wherever they hide.
+    import ast
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("check_layering", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    tree = ast.parse(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.gm import x\n"
+        "def f():\n"
+        "    import repro.mcast\n"
+    )
+    modules = [m for _, m in mod.runtime_imports(tree)]
+    assert "repro.mcast" in modules
+    assert "repro.gm" not in modules

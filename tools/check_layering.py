@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Enforce the import layering described in docs/architecture.md.
+
+Two rules are load-bearing enough to gate CI on:
+
+* ``repro.sim`` is the bottom of the stack: it may import nothing from
+  the rest of the package except :mod:`repro.perf.counters` (a leaf the
+  kernel increments on its hot path);
+* ``repro.proto`` is the transport-agnostic reliability core: it sits
+  below the protocol engines and must never import ``repro.gm`` or
+  ``repro.mcast`` (nor anything above them).
+
+Imports guarded by ``if TYPE_CHECKING:`` are ignored — annotations may
+name types from anywhere without creating a runtime dependency.
+
+Usage: ``python tools/check_layering.py`` (exit 0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: package -> module prefixes it may import from ``repro``.
+ALLOWED = {
+    "sim": ("repro.sim", "repro.perf.counters", "repro.perf"),
+    "proto": (
+        "repro.proto",
+        "repro.sim",
+        "repro.net",
+        "repro.nic",
+        "repro.errors",
+        "repro.perf.counters",
+        "repro.perf",
+    ),
+}
+
+
+def _is_type_checking_guard(node: ast.If) -> bool:
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def runtime_imports(tree: ast.Module) -> list[tuple[int, str]]:
+    """(lineno, module) for every import outside TYPE_CHECKING guards."""
+    found: list[tuple[int, str]] = []
+
+    def visit(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, ast.Import):
+                found.extend((node.lineno, a.name) for a in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.level == 0:
+                    found.append((node.lineno, node.module))
+            elif isinstance(node, ast.If):
+                if not _is_type_checking_guard(node):
+                    visit(node.body)
+                visit(node.orelse)
+            elif isinstance(
+                node,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                    ast.With,
+                    ast.Try,
+                    ast.For,
+                    ast.While,
+                ),
+            ):
+                visit(node.body)
+                for extra in ("orelse", "finalbody", "handlers"):
+                    for sub in getattr(node, extra, []):
+                        visit(getattr(sub, "body", [sub]) if isinstance(
+                            sub, ast.excepthandler) else [sub])
+
+    visit(tree.body)
+    return found
+
+
+def check_package(package: str, allowed: tuple[str, ...]) -> list[str]:
+    violations = []
+    for path in sorted((SRC / package).rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, module in runtime_imports(tree):
+            if not (module == "repro" or module.startswith("repro.")):
+                continue
+            if not any(
+                module == prefix or module.startswith(prefix + ".")
+                for prefix in allowed
+            ):
+                rel = path.relative_to(REPO)
+                violations.append(
+                    f"{rel}:{lineno}: repro.{package} must not import "
+                    f"{module} (allowed: {', '.join(allowed)})"
+                )
+    return violations
+
+
+def main() -> int:
+    violations = []
+    for package, allowed in ALLOWED.items():
+        violations.extend(check_package(package, allowed))
+    if violations:
+        print("import layering violations:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"layering clean: {', '.join(ALLOWED)} respect their bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
