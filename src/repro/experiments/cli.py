@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments --figure fig3
     python -m repro.experiments --all --quick
     python -m repro.experiments --all -o EXPERIMENTS-results.md
+    python -m repro.experiments --figure fig5 --metrics  # + fig5.metrics.json
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import inspect
+import json
 import sys
 import time
 
@@ -28,6 +30,42 @@ def run_figure(figure_id: str, quick: bool, jobs: int | None = 1):
     if "jobs" in inspect.signature(module.run).parameters:
         return module.run(quick=quick, jobs=jobs)
     return module.run(quick=quick)
+
+
+def _run_with_metrics(figure_id: str, quick: bool, started: float):
+    """Run one figure with a registry attached; write its sidecar.
+
+    Every simulator the figure builds adopts one shared registry (via
+    ``set_default_metrics``), so the sidecar aggregates the whole sweep.
+    Serial only — the registry cannot see into pool workers.
+    """
+    from repro.obs.registry import MetricsRegistry
+    from repro.perf.counters import KERNEL_COUNTERS
+    from repro.sim.engine import set_default_metrics
+
+    registry = MetricsRegistry()
+    kernel_before = KERNEL_COUNTERS.snapshot()
+    previous = set_default_metrics(registry)
+    try:
+        result = run_figure(figure_id, quick=quick, jobs=1)
+    finally:
+        set_default_metrics(previous)
+    kernel_after = KERNEL_COUNTERS.snapshot()
+    sidecar = f"{figure_id}.metrics.json"
+    payload = {
+        "figure": figure_id,
+        "quick": quick,
+        "wall_s": round(time.time() - started, 3),
+        "kernel_counters": {
+            k: kernel_after[k] - kernel_before.get(k, 0)
+            for k in kernel_after
+        },
+        "metrics": registry.snapshot(),
+    }
+    with open(sidecar, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return result, sidecar
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,10 +92,18 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for sweep figures "
         "(default: all CPUs; 1 = serial in-process)",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="attach a metrics registry to every simulator and write a "
+        "<figure>.metrics.json sidecar per figure (forces --jobs 1: the "
+        "registry observes this process only)",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.metrics:
+        jobs = 1
     targets = sorted(FIGURES) if args.all else (args.figure or [])
     if not targets:
         parser.error("pick --all or at least one --figure")
@@ -65,7 +111,13 @@ def main(argv: list[str] | None = None) -> int:
     for figure_id in targets:
         started = time.time()
         print(f"=== {figure_id} ===", flush=True)
-        result = run_figure(figure_id, quick=args.quick, jobs=jobs)
+        if args.metrics:
+            result, sidecar = _run_with_metrics(
+                figure_id, quick=args.quick, started=started
+            )
+            print(f"wrote {sidecar}")
+        else:
+            result = run_figure(figure_id, quick=args.quick, jobs=jobs)
         text = result.render()
         if "table" in result.extra:
             text += "\n\n" + result.extra["table"]

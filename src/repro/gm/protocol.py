@@ -117,6 +117,9 @@ class _GMGoBackN(GoBackN):
 
     def count(self, record: SendRecord, *, conn: Connection) -> None:
         self.engine.retransmissions += 1
+        m = self.engine.sim.metrics
+        if m is not None:
+            m.inc("proto.retransmits")
 
     def unreachable(self, record: SendRecord, *, conn: Connection) -> str:
         return (
@@ -246,9 +249,13 @@ class GMEngine:
 
     def _transmit_record(self, conn: Connection, record: SendRecord) -> Generator:
         """Stage one packet (fresh or retransmit) and queue it for the wire."""
+        staged_at = self.sim.now
         buf = yield self.nic.send_buffers.acquire()
         yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
         record.sent_at = self.sim.now
+        m = self.sim.metrics
+        if m is not None:
+            m.observe("nic.send_service_us", self.sim.now - staged_at)
         conn.timer.arm(record)
         pkt = Packet(
             header=PacketHeader(
@@ -305,7 +312,10 @@ class GMEngine:
         conn = self._send_conns.get((h.port, h.src, h.from_port))
         if conn is None:
             return  # stale ack for a connection we never opened
+        m = self.sim.metrics
         for record in conn.window.ack_cumulative(h.ack_seq):
+            if m is not None:
+                m.observe("proto.ack_latency_us", self.sim.now - record.sent_at)
             token = record.token
             token.unacked_packets -= 1
             self._maybe_complete(token)
@@ -325,12 +335,16 @@ class GMEngine:
 
     # -- receive path ---------------------------------------------------------------
     def _handle_data(self, pkt: Packet, buf: Any) -> Generator:
+        arrived_at = self.sim.now
         yield from self.nic.processing(self.cost.nic_recv_processing)
         h = pkt.header
+        m = self.sim.metrics
         conn = self.recv_conn(h.src, h.from_port, h.port)
         if h.seq <= conn.recv_seq:
             # Duplicate (our ACK was probably lost): drop, re-ack.
             self.duplicates_dropped += 1
+            if m is not None:
+                m.inc("gm.drops.duplicate")
             if buf is not None:
                 buf.release()
             yield from self._send_ack(conn, h)
@@ -338,6 +352,8 @@ class GMEngine:
         if h.seq != conn.recv_seq + 1:
             # Out of order: Go-back-N receivers drop and wait.
             self.out_of_order_dropped += 1
+            if m is not None:
+                m.inc("gm.drops.out_of_order")
             self.sim.record(
                 self.nic.name, "ooo_drop", seq=h.seq,
                 expected=conn.recv_seq + 1, src=h.src,
@@ -357,6 +373,8 @@ class GMEngine:
                 # No preposted receive buffer: cannot accept.  Do NOT
                 # advance recv_seq; the sender's timeout recovers.
                 self.no_token_dropped += 1
+                if m is not None:
+                    m.inc("gm.drops.no_token")
                 self.sim.record(
                     self.nic.name, "no_recv_token", seq=h.seq, src=h.src
                 )
@@ -374,6 +392,8 @@ class GMEngine:
         if h.chunk == 0 and h.info.get("app") is not None:
             msg.app_info = h.info["app"]
         conn.recv_seq = h.seq
+        if m is not None:
+            m.observe("nic.recv_service_us", self.sim.now - arrived_at)
         yield from self._send_ack(conn, h)
         # Copy to host memory in the background so the next packet can be
         # processed while the receive DMA engine streams this one up.

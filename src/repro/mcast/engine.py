@@ -79,10 +79,21 @@ class McastEngine:
         if cmd.replace and cmd.state.group_id in self.table:
             self.table.remove(cmd.state.group_id)
         self.table.install(cmd.state)
+        self._observe_fanout(cmd.state)
 
     def install_group_now(self, state: GroupState) -> None:
         """Zero-cost install (experiment setup before time starts)."""
         self.table.install(state)
+        self._observe_fanout(state)
+
+    def _observe_fanout(self, state: GroupState) -> None:
+        """Record this node's fan-out in the group's spanning tree."""
+        m = self.sim.metrics
+        if m is not None:
+            m.observe(
+                "mcast.group_fanout", len(state.children),
+                (0, 1, 2, 4, 8, 16, 32, 64),
+            )
 
     # -- host-facing send ----------------------------------------------------
     def multicast_send(

@@ -52,23 +52,30 @@ class Forwarding:
     def _handle_mcast_data(self, pkt: Packet, buf: Any) -> Generator:
         yield from self.nic.processing(self.cost.nic_recv_processing)
         h = pkt.header
+        m = self.sim.metrics
         group = self.table.get(h.group)
         if group is None or group.is_root:
             # Unknown group (membership not yet preposted) or a stray
             # loop-back: drop; the parent's timeout recovers once the
             # group exists.
             self.engine.unknown_group_dropped += 1
+            if m is not None:
+                m.inc("mcast.drops.unknown_group")
             if buf is not None:
                 buf.release()
             return
         if h.seq <= group.recv_seq:
             self.engine.duplicates_dropped += 1
+            if m is not None:
+                m.inc("mcast.drops.duplicate")
             if buf is not None:
                 buf.release()
             yield from self.engine.reliability.send_group_ack(group)
             return
         if h.seq != group.recv_seq + 1:
             self.engine.out_of_order_dropped += 1
+            if m is not None:
+                m.inc("mcast.drops.out_of_order")
             if buf is not None:
                 buf.release()
             return
@@ -84,6 +91,8 @@ class Forwarding:
             rtoken = port.take_recv_token()
             if rtoken is None:
                 self.engine.no_token_dropped += 1
+                if m is not None:
+                    m.inc("mcast.drops.no_token")
                 self.sim.record(
                     self.nic.name, "mcast_no_token", group=h.group, seq=h.seq
                 )
@@ -134,6 +143,7 @@ class Forwarding:
         latency — the paper's Fig. 5b dip.
         """
         h = pkt.header
+        forward_started = self.sim.now
         yield from self.nic.processing(self.cost.nic_forward_processing)
         yield from self.nic.sram_copy(h.payload)
         self.engine.reliability.arm(group, record)
@@ -152,6 +162,9 @@ class Forwarding:
             },
         )
         record.sent_at = self.sim.now
+        m = self.sim.metrics
+        if m is not None:
+            m.observe("nic.forward_service_us", self.sim.now - forward_started)
         self.sim.record(
             self.nic.name, "forward", group=h.group, seq=h.seq,
             chunk=h.chunk, first_child=first,

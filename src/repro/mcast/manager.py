@@ -49,6 +49,9 @@ def install_group(
     """Prepost *tree* into every member NIC's group table (zero cost)."""
     for node_id, state in local_views(group_id, tree, port_num).items():
         cluster.node(node_id).mcast.install_group_now(state)
+    m = cluster.sim.metrics
+    if m is not None:
+        m.set_gauge("mcast.group_depth", tree.max_depth)
 
 
 def demand_install_group(

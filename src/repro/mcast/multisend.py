@@ -141,6 +141,9 @@ class Multisend:
             yield from self.nic.processing(self.cost.nic_header_rewrite)
         nxt = remaining.pop(0)
         desc.retarget(dst=nxt)
+        m = self.sim.metrics
+        if m is not None:
+            m.inc("mcast.replicas_sent")
         self.sim.record(
             self.nic.name, "replica", seq=desc.packet.header.seq, dst=nxt,
             group=desc.packet.header.group,

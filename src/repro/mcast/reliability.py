@@ -72,6 +72,9 @@ class _McastSelectiveGoBackN(SelectiveGoBackN):
 
     def count(self, record: McastRecord, *, child: int, group: "GroupState") -> None:
         self.rel.engine.retransmissions += 1
+        m = self.rel.sim.metrics
+        if m is not None:
+            m.inc("mcast.laggard_resends")
 
     def unreachable(self, record: McastRecord, *, child: int, group: "GroupState") -> str:
         return (
@@ -117,7 +120,10 @@ class McastReliability:
         if h.ack_seq <= group.child_acked[child]:
             return  # stale
         group.child_acked[child] = h.ack_seq
+        m = self.sim.metrics
         for record in group.window.ack_from_child(child, h.ack_seq):
+            if m is not None:
+                m.observe("proto.ack_latency_us", self.sim.now - record.sent_at)
             self.engine._record_completed(group, record)
 
     def send_group_ack(self, group: "GroupState") -> Generator:

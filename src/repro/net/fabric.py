@@ -87,13 +87,19 @@ class Network:
         if links is None:
             links = self._routes[key] = self.topology.route(*key)
         ser = packet.wire_size * self._inv_bandwidth
+        m = self.sim.metrics
         for hop, link in enumerate(links):
             # Uncontended links (the dominant case in every sweep) are
             # claimed inline — no Request, no grant event; only a busy
             # channel suspends the traversal on a claim event.
             if not link.claim_fast():
+                blocked_at = self.sim.now
                 yield link.claim_head()
+                if m is not None:
+                    m.observe("net.queue_wait_us", self.sim.now - blocked_at)
             link.account(packet)
+            if m is not None:
+                m.inc("net.link_bytes", packet.wire_size)
             # The channel is occupied for the serialization time (the tail
             # streams behind the head); propagation pipelines, so release
             # is scheduled now and the head crosses concurrently.
@@ -108,6 +114,8 @@ class Network:
         yield self.sim.timeout(ser)
         if self.loss.should_drop(packet, self.sim.now):
             self.dropped += 1
+            if m is not None:
+                m.inc("net.fault_drops")
             if self.sim.trace.enabled:
                 self.sim.record(
                     "network",
@@ -120,6 +128,8 @@ class Network:
                 )
             return
         self.delivered += 1
+        if m is not None:
+            m.inc("net.packets_delivered")
         if self.sim.trace.enabled:
             self.sim.record(
                 "network",

@@ -115,8 +115,11 @@ class NIC:
         """
         if packet.header.ptype.is_data:
             buf = self.recv_buffers.try_acquire()
+            m = self.sim.metrics
             if buf is None:
                 self.rx_overruns += 1
+                if m is not None:
+                    m.inc("nic.rx_overruns")
                 self.sim.record(
                     self.name,
                     "rx_overrun",
@@ -125,6 +128,8 @@ class NIC:
                     seq=packet.header.seq,
                 )
                 return
+            if m is not None:
+                m.set_gauge("nic.recv_buffers_in_use", self.recv_buffers.in_use)
             self.rx_queue.put((packet, buf))
         else:
             self.rx_queue.put((packet, None))
@@ -154,6 +159,9 @@ class NIC:
         while True:
             packet, buf = yield rx_queue.get()
             self.packets_received += 1
+            m = self.sim.metrics
+            if m is not None:
+                m.inc("nic.packets_received")
             handler = self.packet_handlers.get(packet.header.ptype)
             if handler is None:
                 if buf is not None:
@@ -183,10 +191,18 @@ class NIC:
                 self.name, "tx_start", uid=pkt.uid, dst=pkt.dst,
                 seq=pkt.header.seq, ptype=pkt.header.ptype.value,
             )
+            tx_started = self.sim.now
             injected = self.sim.event()
             self.network.inject(pkt, on_injected=injected.succeed)
             yield injected  # transmit DMA engine drains the buffer
             self.packets_sent += 1
+            m = self.sim.metrics
+            if m is not None:
+                m.inc("nic.packets_sent")
+                m.observe("nic.tx_service_us", self.sim.now - tx_started)
+                m.set_gauge(
+                    "nic.send_buffers_in_use", self.send_buffers.in_use
+                )
             self.sim.record(
                 self.name, "tx_done", uid=pkt.uid, dst=pkt.dst,
                 seq=pkt.header.seq, ptype=pkt.header.ptype.value,

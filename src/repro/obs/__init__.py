@@ -1,0 +1,53 @@
+"""Unified observability: metrics registry, health reports, timelines.
+
+``repro.obs`` is the stack's top observation layer.  It may import from
+every other layer, but nothing below ``experiments``/``perf`` may
+import it back (enforced by ``tools/check_layering.py``): the
+instrumented layers talk to the registry only through the duck-typed
+``sim.metrics`` slot, which is ``None`` unless an observer attaches
+one.  See ``docs/observability.md``.
+"""
+
+from repro.obs.health import (
+    ObservedRun,
+    build_health_report,
+    render_health_report,
+    run_observed,
+)
+from repro.obs.registry import (
+    LATENCY_BUCKETS_US,
+    OCCUPANCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.timeline import (
+    SPAN_RULES,
+    chrome_trace,
+    chrome_trace_events,
+    spans_from_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_US",
+    "OCCUPANCY_BUCKETS",
+    "ObservedRun",
+    "run_observed",
+    "build_health_report",
+    "render_health_report",
+    "SPAN_RULES",
+    "chrome_trace",
+    "chrome_trace_events",
+    "spans_from_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,221 @@
+"""Protocol-health reports: run a scheme under observation, summarize.
+
+:func:`run_observed` drives any scheme from the
+:mod:`repro.mcast.schemes` registry exactly as the experiment harness
+does — same cluster construction, same default spanning tree — but with
+a :class:`~repro.obs.registry.MetricsRegistry` attached to the
+simulator (and optionally the tracer enabled for a Chrome-trace
+export).  :func:`build_health_report` and :func:`render_health_report`
+then turn one run per scheme into the machine-readable JSON and the
+text tables the ``python -m repro.obs`` CLI prints.
+
+Every scheme's report carries the same three protocol sections, zero or
+not, so reports diff cleanly across schemes and runs:
+
+``retransmits``
+    ``proto.retransmits`` (Go-back-N resends), ``mcast.laggard_resends``
+    (per-child selective resends), and the timer counters folded in
+    from :mod:`repro.proto.timer` (``proto.timers_*``);
+``ack_latency``
+    the ``proto.ack_latency_us`` histogram (post → cumulative-ack
+    arrival per window record);
+``drops``
+    every ``*.drops.*`` counter (duplicates, out-of-order,
+    unknown-group, no-token) plus ``net.fault_drops`` — injected losses
+    tallied where the fault model drops them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+from repro.mcast.schemes import available_schemes, get_scheme
+from repro.obs.registry import MetricsRegistry
+from repro.trees import build_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.fault import LossModel
+
+__all__ = [
+    "ObservedRun",
+    "run_observed",
+    "build_health_report",
+    "render_health_report",
+]
+
+#: Counters summed into each report's ``retransmits`` section.
+RETRANSMIT_COUNTERS = (
+    "proto.retransmits",
+    "mcast.laggard_resends",
+    "proto.timers_armed",
+    "proto.timer_fires",
+    "proto.timer_stale_fires",
+)
+
+#: The ack-latency histogram every reliability binding feeds.
+ACK_LATENCY_METRIC = "proto.ack_latency_us"
+
+
+@dataclass
+class ObservedRun:
+    """One scheme driven once with metrics (and optionally trace) on."""
+
+    scheme: str
+    nodes: int
+    size: int
+    seed: int
+    registry: MetricsRegistry
+    #: per-node delivery info from ``BoundScheme.run_once``
+    delivered: dict[int, Any]
+    #: simulated end time of the run, µs
+    sim_time_us: float
+    #: the simulator's tracer (records populated only when trace=True)
+    tracer: Any = None
+    notes: list[str] = field(default_factory=list)
+
+
+def run_observed(
+    scheme: str,
+    nodes: int = 8,
+    size: int = 4096,
+    seed: int = 0,
+    loss: "LossModel | None" = None,
+    trace: bool = False,
+    registry: MetricsRegistry | None = None,
+) -> ObservedRun:
+    """Run *scheme* once on an *nodes*-node cluster, observed.
+
+    The registry is attached directly to the run's own simulator
+    (``cluster.sim.metrics``), so observation never leaks across runs
+    and the process-global default stays untouched.
+    """
+    spec = get_scheme(scheme)
+    cost = GMCostModel()
+    cluster = Cluster(
+        ClusterConfig(n_nodes=nodes, cost=cost, seed=seed, trace=trace),
+        loss=loss,
+    )
+    registry = registry if registry is not None else MetricsRegistry()
+    cluster.sim.metrics = registry
+
+    dests = list(range(1, nodes))
+    if spec.tree_uses_cost:
+        tree = build_tree(0, dests, shape=spec.default_tree,
+                          cost=cost, size=size)
+    else:
+        tree = build_tree(0, dests, shape=spec.default_tree)
+    bound = spec.cls(spec, cluster, tree)
+    result = bound.run_once(size)
+
+    return ObservedRun(
+        scheme=scheme,
+        nodes=nodes,
+        size=size,
+        seed=seed,
+        registry=registry,
+        delivered=dict(result.get("delivered", {})),
+        sim_time_us=cluster.now,
+        tracer=cluster.sim.trace,
+    )
+
+
+def _drop_counters(registry: MetricsRegistry) -> dict[str, int]:
+    """Every drop tally in the registry, by name."""
+    out: dict[str, int] = {}
+    for name in registry.names():
+        if ".drops." in name or name == "net.fault_drops":
+            out[name] = registry.value(name)
+    return out
+
+
+def _scheme_report(run: ObservedRun) -> dict[str, Any]:
+    reg = run.registry
+    ack = reg.get(ACK_LATENCY_METRIC)
+    ack_snapshot = (
+        ack.snapshot() if ack is not None
+        else {"type": "histogram", "count": 0, "sum": 0.0, "mean": 0.0,
+              "min": None, "max": None, "p50": 0.0, "p99": 0.0,
+              "buckets": {}}
+    )
+    return {
+        "scheme": run.scheme,
+        "title": get_scheme(run.scheme).title,
+        "nodes": run.nodes,
+        "size": run.size,
+        "seed": run.seed,
+        "sim_time_us": round(run.sim_time_us, 6),
+        "delivered": len(run.delivered),
+        "retransmits": {
+            name: reg.value(name) for name in RETRANSMIT_COUNTERS
+        },
+        "ack_latency": ack_snapshot,
+        "drops": _drop_counters(reg),
+        "metrics": reg.snapshot(),
+    }
+
+
+def build_health_report(runs: list[ObservedRun]) -> dict[str, Any]:
+    """Machine-readable health report for a batch of observed runs."""
+    return {
+        "report": "repro.obs health",
+        "schemes_available": list(available_schemes()),
+        "runs": [_scheme_report(run) for run in runs],
+    }
+
+
+def render_health_report(runs: list[ObservedRun]) -> str:
+    """The text report: an overview table plus one section per scheme."""
+    from repro.experiments.report import render_table
+
+    out = ["# Protocol health report", ""]
+    headers = ["scheme", "nodes", "size", "sim_us", "delivered",
+               "retransmits", "acks", "drops"]
+    rows = []
+    for run in runs:
+        rep = _scheme_report(run)
+        rows.append([
+            run.scheme,
+            str(run.nodes),
+            str(run.size),
+            f"{run.sim_time_us:.1f}",
+            str(rep["delivered"]),
+            str(rep["retransmits"]["proto.retransmits"]
+                + rep["retransmits"]["mcast.laggard_resends"]),
+            str(rep["ack_latency"]["count"]),
+            str(sum(rep["drops"].values())),
+        ])
+    out.append(render_table(headers, rows))
+
+    for run in runs:
+        rep = _scheme_report(run)
+        out += ["", f"## {run.scheme}: {rep['title']}", ""]
+        out.append("retransmits:")
+        out.append(render_table(
+            ["counter", "value"],
+            [[name, str(value)]
+             for name, value in rep["retransmits"].items()],
+        ))
+        out.append("")
+        ack = rep["ack_latency"]
+        out.append("ack latency (us):")
+        out.append(render_table(
+            ["count", "mean", "p50", "p99", "max"],
+            [[str(ack["count"]), f"{ack['mean']:.2f}", f"{ack['p50']:g}",
+              f"{ack['p99']:g}",
+              "-" if ack["max"] is None else f"{ack['max']:.2f}"]],
+        ))
+        out.append("")
+        out.append("drops:")
+        drops = rep["drops"]
+        if drops:
+            out.append(render_table(
+                ["counter", "value"],
+                [[name, str(value)] for name, value in sorted(drops.items())],
+            ))
+        else:
+            out.append("  (none recorded)")
+    return "\n".join(out)

@@ -1,0 +1,262 @@
+"""Chrome trace-event export: the Fig. 2 timeline as an interactive artifact.
+
+Converts :class:`~repro.sim.trace.TraceRecord` streams into the Chrome
+trace-event JSON format (the ``{"traceEvents": [...]}`` flavour), viewable
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* one **pid per node** — ``nic[3]`` and ``host[3]`` both land in process
+  3, named ``node[3]``; non-node components (``network``) get their own
+  synthetic pid after the last node;
+* one **tid per engine** within the node (``nic``, ``host``, …), named
+  via thread-name metadata events;
+* paired records (``tx_start``/``tx_done`` by packet ``uid``, via the
+  same stack-pairing as :meth:`Tracer.spans`) become complete ``"X"``
+  duration events;
+* everything else becomes a thread-scoped instant ``"i"`` event carrying
+  its trace fields as ``args``.
+
+Simulated time is microseconds throughout the stack, which is exactly
+the trace-event ``ts`` unit — no conversion.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterable, Sequence
+
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "SPAN_RULES",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "spans_from_chrome_trace",
+]
+
+#: ``(start_category, end_category, pairing field, event name)`` — records
+#: paired per component into ``"X"`` duration events.
+SPAN_RULES: tuple[tuple[str, str, str, str], ...] = (
+    ("tx_start", "tx_done", "uid", "tx"),
+)
+
+_COMPONENT_RE = re.compile(r"^(?P<engine>[A-Za-z_]\w*)\[(?P<idx>\d+)\]$")
+
+#: Trace-event phases the validator accepts (the subset this exporter
+#: emits plus the common hand-authored ones).
+_KNOWN_PHASES = frozenset("BEXiIMCbnesftPON")
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a trace-field value into something ``json.dump`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_json_safe(v) for v in items]
+    return repr(value)
+
+
+def _split_component(component: str) -> tuple[str, int | None]:
+    """``"nic[3]"`` -> ``("nic", 3)``; ``"network"`` -> ``("network", None)``."""
+    match = _COMPONENT_RE.match(component)
+    if match is None:
+        return component, None
+    return match.group("engine"), int(match.group("idx"))
+
+
+def chrome_trace_events(
+    records: Iterable[TraceRecord],
+    span_rules: Sequence[tuple[str, str, str, str]] = SPAN_RULES,
+) -> list[dict[str, Any]]:
+    """Convert trace records into a list of trace-event dicts.
+
+    Span starts and ends are paired per ``(component, key value)`` with a
+    stack, mirroring :meth:`Tracer.spans` — a retransmitted packet whose
+    ``tx_start`` fires twice yields two ``"X"`` events, not one.
+    """
+    records = list(records)
+    start_rules = {rule[0]: rule for rule in span_rules}
+    end_rules = {rule[1]: rule for rule in span_rules}
+
+    # -- pass 1: pair spans ------------------------------------------------
+    open_spans: dict[tuple, list[TraceRecord]] = {}
+    spans: list[tuple[TraceRecord, TraceRecord, tuple[str, str, str, str]]] = []
+    consumed: set[int] = set()
+    for i, rec in enumerate(records):
+        rule = start_rules.get(rec.category)
+        if rule is not None and rule[2] in rec.fields:
+            key = (rec.component, rec.category, rec.fields[rule[2]])
+            open_spans.setdefault(key, []).append(rec)
+            consumed.add(i)
+            continue
+        rule = end_rules.get(rec.category)
+        if rule is not None and rule[2] in rec.fields:
+            key = (rec.component, rule[0], rec.fields[rule[2]])
+            stack = open_spans.get(key)
+            if stack:
+                spans.append((stack.pop(), rec, rule))
+                consumed.add(i)
+            # An unmatched end falls through to an instant event below.
+
+    # -- pass 2: assign pids (nodes first, then synthetic) and tids --------
+    node_ids = sorted(
+        {idx for rec in records
+         for _eng, idx in (_split_component(rec.component),)
+         if idx is not None}
+    )
+    next_pid = (max(node_ids) + 1) if node_ids else 0
+    pids: dict[str, int] = {}
+    process_names: dict[int, str] = {i: f"node[{i}]" for i in node_ids}
+    tids: dict[tuple[int, str], int] = {}
+
+    def locate(component: str) -> tuple[int, int]:
+        nonlocal next_pid
+        engine, idx = _split_component(component)
+        if idx is not None:
+            pid = idx
+        else:
+            pid = pids.get(component)
+            if pid is None:
+                pid = pids[component] = next_pid
+                process_names[pid] = component
+                next_pid += 1
+        tid = tids.setdefault((pid, engine), len(
+            [k for k in tids if k[0] == pid]) + 1)
+        return pid, tid
+
+    events: list[dict[str, Any]] = []
+    for start, end, rule in spans:
+        pid, tid = locate(start.component)
+        args = {k: _json_safe(v) for k, v in start.fields.items()}
+        events.append({
+            "name": rule[3],
+            "cat": start.category,
+            "ph": "X",
+            "ts": start.time,
+            "dur": end.time - start.time,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    for i, rec in enumerate(records):
+        if i in consumed:
+            continue
+        pid, tid = locate(rec.component)
+        events.append({
+            "name": rec.category,
+            "cat": rec.category,
+            "ph": "i",
+            "s": "t",
+            "ts": rec.time,
+            "pid": pid,
+            "tid": tid,
+            "args": {k: _json_safe(v) for k, v in rec.fields.items()},
+        })
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+
+    # -- metadata: names for Perfetto's process/thread rails ---------------
+    meta: list[dict[str, Any]] = []
+    for pid, name in sorted(process_names.items()):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+    for (pid, engine), tid in sorted(tids.items()):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": engine},
+        })
+    return meta + events
+
+
+def chrome_trace(
+    trace: Tracer | Iterable[TraceRecord],
+    span_rules: Sequence[tuple[str, str, str, str]] = SPAN_RULES,
+) -> dict[str, Any]:
+    """Full trace-event JSON object for *trace*."""
+    records = trace.records if isinstance(trace, Tracer) else trace
+    return {
+        "traceEvents": chrome_trace_events(records, span_rules),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "us"},
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    trace: Tracer | Iterable[TraceRecord],
+    span_rules: Sequence[tuple[str, str, str, str]] = SPAN_RULES,
+) -> dict[str, Any]:
+    """Write trace-event JSON to *path* and return the payload."""
+    payload = chrome_trace(trace, span_rules)
+    errors = validate_chrome_trace(payload)
+    if errors:  # pragma: no cover - exporter bug guard
+        raise ValueError(f"refusing to write malformed trace: {errors[:3]}")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Well-formedness errors in a trace-event JSON object (empty = valid).
+
+    Checks the trace-event schema fields CI gates on: every event has a
+    known ``ph``, and every non-metadata event carries a numeric
+    non-negative ``ts``, integer ``pid``/``tid``, and a string ``name``;
+    ``"X"`` events additionally need a non-negative ``dur``.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["payload is not an object with a 'traceEvents' array"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not an array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing string name")
+        if not isinstance(ev.get("pid"), int):
+            errors.append(f"{where}: missing integer pid")
+        if not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: missing integer tid")
+        if ph == "M":
+            continue  # metadata events need no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: missing non-negative ts (got {ts!r})")
+        if ph == "X":
+            dur = ev.get("dur")
+            if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                    or dur < 0):
+                errors.append(
+                    f"{where}: X event needs non-negative dur (got {dur!r})"
+                )
+    return errors
+
+
+def spans_from_chrome_trace(
+    payload: dict[str, Any], name: str
+) -> list[tuple[int, float, float]]:
+    """``(pid, start, end)`` for every ``"X"`` event called *name*.
+
+    The round-trip helper: tests re-derive the Fig. 2 send timeline from
+    the exported JSON and compare it against :meth:`Tracer.spans`.
+    """
+    out = []
+    for ev in payload.get("traceEvents", []):
+        if ev.get("ph") == "X" and ev.get("name") == name:
+            out.append((ev["pid"], ev["ts"], ev["ts"] + ev["dur"]))
+    return sorted(out)

@@ -110,10 +110,13 @@ def bench_timer_churn(rounds: int = 20) -> dict[str, Any]:
     fires on stale closures.  The ``before`` numbers were measured on
     this exact workload before :class:`repro.proto.timer.RetransmitTimer`
     replaced that pattern (see :data:`PRE_REFACTOR_TIMER_CHURN`);
-    ``after`` comes from :data:`~repro.perf.counters.KERNEL_COUNTERS`
-    live.  ``arm_requests`` should match the old heap-callback count —
-    the protocol issues the same (re)arms, the per-window timer just
-    stops turning each one into heap garbage.
+    ``after`` comes from a :class:`repro.obs.MetricsRegistry` attached to
+    the run — the same ``proto.timers_*`` counters the ``python -m
+    repro.obs`` health report prints, so the two artifacts cannot drift
+    apart (the process-global ``KERNEL_COUNTERS`` delta is cross-checked
+    against it).  ``arm_requests`` should match the old heap-callback
+    count — the protocol issues the same (re)arms, the per-window timer
+    just stops turning each one into heap garbage.
     """
     from repro.cluster import Cluster
     from repro.config import ClusterConfig
@@ -121,6 +124,7 @@ def bench_timer_churn(rounds: int = 20) -> dict[str, Any]:
     from repro.mcast.manager import install_group
     from repro.net.fault import ScriptedLoss
     from repro.net.packet import PacketType
+    from repro.obs.registry import MetricsRegistry
     from repro.trees import build_tree
 
     n, size = 8, 4096
@@ -133,6 +137,8 @@ def bench_timer_churn(rounds: int = 20) -> dict[str, Any]:
     cluster = Cluster(
         ClusterConfig(n_nodes=n, cost=cost, seed=0), loss=loss
     )
+    registry = MetricsRegistry()
+    cluster.sim.metrics = registry
     dests = list(range(1, n))
     tree = build_tree(0, dests, shape="optimal", cost=cost, size=size)
     install_group(cluster, 1, tree)
@@ -158,12 +164,27 @@ def bench_timer_churn(rounds: int = 20) -> dict[str, Any]:
     snap = KERNEL_COUNTERS.snapshot()
 
     before = dict(PRE_REFACTOR_TIMER_CHURN)
+    # One source of truth with the obs health report: the registry's
+    # proto.timers_* counters.  The process-global KERNEL_COUNTERS delta
+    # must agree — a mismatch means an instrumentation site lost its
+    # registry mirror.
     after = {
+        "arm_requests": registry.value("proto.timers_armed"),
+        "heap_callbacks": registry.value("proto.timers_scheduled"),
+        "fires": registry.value("proto.timer_fires"),
+        "stale_fires": registry.value("proto.timer_stale_fires"),
+    }
+    kernel_view = {
         "arm_requests": snap["timers_armed"],
         "heap_callbacks": snap["timers_scheduled"],
         "fires": snap["timer_fires"],
         "stale_fires": snap["timer_stale_fires"],
     }
+    if kernel_view != after:
+        raise AssertionError(
+            f"timer counters diverged: registry {after} "
+            f"vs KERNEL_COUNTERS {kernel_view}"
+        )
     return {
         "workload": (
             f"{rounds}x {size}B multicast, {n}-node optimal tree, "

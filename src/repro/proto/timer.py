@@ -84,6 +84,9 @@ class RetransmitTimer:
         """(Re)start *record*'s retransmission clock from now."""
         record.deadline = self.sim.now + self.timeout
         KERNEL_COUNTERS.timers_armed += 1
+        m = self.sim.metrics
+        if m is not None:
+            m.inc("proto.timers_armed")
         if self._next is None:
             # No callback in flight: schedule one at this deadline.  An
             # outstanding callback always pops at or before any fresh
@@ -93,11 +96,17 @@ class RetransmitTimer:
     def _schedule(self, when: float) -> None:
         self._next = when
         KERNEL_COUNTERS.timers_scheduled += 1
+        m = self.sim.metrics
+        if m is not None:
+            m.inc("proto.timers_scheduled")
         self.sim.call_at(when, self._fire)
 
     def _fire(self) -> None:
         self._next = None
         KERNEL_COUNTERS.timer_fires += 1
+        m = self.sim.metrics
+        if m is not None:
+            m.inc("proto.timer_fires")
         records = self.window.records
         now = self.sim.now
         expired = None
@@ -120,10 +129,14 @@ class RetransmitTimer:
                     # *becomes* the oldest.
                     record.deadline = now + self.timeout
                     KERNEL_COUNTERS.timers_armed += 1
+                    if m is not None:
+                        m.inc("proto.timers_armed")
         if expired is not None:
             self.on_expire(expired)
         else:
             KERNEL_COUNTERS.timer_stale_fires += 1
+            if m is not None:
+                m.inc("proto.timer_stale_fires")
         # One callback at the earliest remaining deadline, if any (unless
         # on_expire already armed synchronously and re-scheduled).
         if self._next is None:

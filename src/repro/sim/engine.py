@@ -22,13 +22,33 @@ from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 
-__all__ = ["Simulator", "URGENT", "NORMAL"]
+__all__ = ["Simulator", "URGENT", "NORMAL", "set_default_metrics"]
 
 #: Priority for internal immediate resumptions (processed before NORMAL
 #: events scheduled at the same instant).
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+
+#: Registry adopted by simulators created after :func:`set_default_metrics`.
+#: ``None`` (the default) keeps all instrumentation down to one attribute
+#: check per site.  The slot is duck-typed on purpose: the kernel never
+#: imports :mod:`repro.obs` — observers push a registry down, either here
+#: or by assigning ``sim.metrics`` directly.
+_DEFAULT_METRICS: Any = None
+
+
+def set_default_metrics(registry: Any) -> Any:
+    """Set the registry future simulators attach to; returns the old one.
+
+    For harnesses that build clusters internally (the experiment
+    runner's ``--metrics`` flag).  Pass ``None`` to restore the
+    unobserved default.
+    """
+    global _DEFAULT_METRICS
+    previous = _DEFAULT_METRICS
+    _DEFAULT_METRICS = registry
+    return previous
 
 
 class EmptySchedule(Exception):
@@ -73,6 +93,9 @@ class Simulator:
         self._rngs = RngRegistry(seed)
         self.seed = seed
         self.trace = Tracer(enabled=trace)
+        #: Metrics registry (duck-typed; see :func:`set_default_metrics`).
+        #: ``None`` disables all instrumentation.
+        self.metrics = _DEFAULT_METRICS
         #: Events processed by :meth:`step`/:meth:`run` over this
         #: simulator's lifetime.
         self.events_processed = 0

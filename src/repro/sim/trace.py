@@ -95,14 +95,20 @@ class Tracer:
         Returns ``(key_value, start_time, end_time)`` triples for every
         start that found a matching later end — the building block of the
         Fig. 2 timeline extraction.
+
+        Starts for the same key nest as a stack: an end closes the most
+        recent still-open start, so a re-entrant key (a retransmitted
+        seq that re-opens its span) yields one span per start/end pair
+        instead of silently dropping the later starts.
         """
-        open_spans: dict[Any, float] = {}
+        open_spans: dict[Any, list[float]] = {}
         out: list[tuple[Any, float, float]] = []
         for rec in self.records:
             if rec.category == start_category and key in rec.fields:
-                open_spans.setdefault(rec.fields[key], rec.time)
+                open_spans.setdefault(rec.fields[key], []).append(rec.time)
             elif rec.category == end_category and key in rec.fields:
                 k = rec.fields[key]
-                if k in open_spans:
-                    out.append((k, open_spans.pop(k), rec.time))
+                stack = open_spans.get(k)
+                if stack:
+                    out.append((k, stack.pop(), rec.time))
         return out

@@ -1,0 +1,194 @@
+"""End-to-end obs tests: observed runs, health reports, the obs CLI,
+and the Fig. 2 timeline round-trip acceptance check."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+from repro.mcast.schemes import available_schemes, get_scheme
+from repro.net.fault import ScriptedLoss
+from repro.net.packet import PacketType
+from repro.obs.health import (
+    ACK_LATENCY_METRIC,
+    RETRANSMIT_COUNTERS,
+    build_health_report,
+    render_health_report,
+    run_observed,
+)
+from repro.obs.timeline import (
+    chrome_trace,
+    spans_from_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.trees import build_tree
+
+
+def first_data_drop():
+    return ScriptedLoss(
+        lambda p: p.header.ptype in (PacketType.DATA, PacketType.MCAST_DATA)
+        and p.header.seq == 1,
+        times=1,
+    )
+
+
+def test_observed_run_populates_registry():
+    run = run_observed("nic_based", nodes=8, size=4096,
+                       loss=first_data_drop())
+    assert len(run.delivered) == 7
+    reg = run.registry
+    assert reg.value("nic.packets_sent") > 0
+    assert reg.value("net.link_bytes") > 8 * 4096  # replicas on the wire
+    assert reg.value("net.fault_drops") == 1
+    # nic_based recovers via the per-child selective resend.
+    assert reg.value("mcast.laggard_resends") >= 1
+    assert reg.value(ACK_LATENCY_METRIC) > 0  # acks observed
+    assert reg.value("mcast.group_fanout") > 0
+
+
+def test_health_report_sections_every_scheme():
+    """ISSUE acceptance: retransmit, ack-latency histogram, and
+    drop-counter sections for every scheme in the registry."""
+    runs = [
+        run_observed(s, nodes=4, size=1024, loss=first_data_drop())
+        for s in available_schemes()
+    ]
+    report = build_health_report(runs)
+    assert report["schemes_available"] == list(available_schemes())
+    assert len(report["runs"]) == len(list(available_schemes()))
+    for rep in report["runs"]:
+        assert set(rep["retransmits"]) == set(RETRANSMIT_COUNTERS)
+        ack = rep["ack_latency"]
+        assert ack["type"] == "histogram"
+        for key in ("count", "mean", "p50", "p99", "buckets"):
+            assert key in ack
+        assert isinstance(rep["drops"], dict)
+        assert rep["delivered"] >= 3  # all members heard the message
+        assert rep["sim_time_us"] > 0
+
+    text = render_health_report(runs)
+    assert "# Protocol health report" in text
+    for scheme in available_schemes():
+        assert f"## {scheme}:" in text
+    assert "ack latency (us):" in text
+    assert "drops:" in text
+
+
+def test_injected_drop_counted_once():
+    # One scripted wire loss == one net.fault_drops tally, same number
+    # the fault model reports: a single source of truth.
+    run = run_observed("nic_based", nodes=4, size=1024,
+                       loss=first_data_drop())
+    rep = build_health_report([run])["runs"][0]
+    assert rep["drops"].get("net.fault_drops") == 1
+
+
+def test_fig2_timeline_roundtrip():
+    """ISSUE acceptance: the exported Chrome trace's spans round-trip the
+    Fig. 2 send/forward timeline recorded by the tracer."""
+    run = run_observed("nic_based", nodes=8, size=4096,
+                       loss=first_data_drop(), trace=True)
+    payload = chrome_trace(run.tracer)
+    assert validate_chrome_trace(payload) == []
+
+    # Every tracer tx span must survive the export byte-for-byte (clone()
+    # gives forwarded packets fresh uids, so pairing is unambiguous).
+    tracer_spans = sorted(
+        (start, end)
+        for _uid, start, end in run.tracer.spans("tx_start", "tx_done", "uid")
+    )
+    exported = sorted(
+        (start, end)
+        for _pid, start, end in spans_from_chrome_trace(payload, "tx")
+    )
+    assert exported == tracer_spans
+    assert len(exported) >= 7  # at least one send per member
+
+    # Forward hops (the NIC-level relay of Fig. 2) appear as instants at
+    # the exact times the tracer recorded.
+    fwd_records = run.tracer.filter(category="forward")
+    assert len(fwd_records) > 0
+    fwd_instants = [e for e in payload["traceEvents"]
+                    if e["ph"] == "i" and e["name"] == "forward"]
+    assert sorted(e["ts"] for e in fwd_instants) == sorted(
+        r.time for r in fwd_records
+    )
+    # Forwarding happens on intermediate nodes, not the root.
+    assert all(e["pid"] != 0 for e in fwd_instants)
+
+
+def test_observation_does_not_perturb_schedule():
+    """The golden-trace guarantee, stated on outcomes: an observed run
+    delivers the same payloads at the same simulated times as the same
+    run with no registry attached."""
+    observed = run_observed("nic_based", nodes=8, size=4096, seed=0,
+                            loss=first_data_drop())
+
+    spec = get_scheme("nic_based")
+    cost = GMCostModel()
+    cluster = Cluster(
+        ClusterConfig(n_nodes=8, cost=cost, seed=0),
+        loss=first_data_drop(),
+    )
+    assert cluster.sim.metrics is None  # default: unobserved
+    dests = list(range(1, 8))
+    if spec.tree_uses_cost:
+        tree = build_tree(0, dests, shape=spec.default_tree,
+                          cost=cost, size=4096)
+    else:
+        tree = build_tree(0, dests, shape=spec.default_tree)
+    bare = spec.cls(spec, cluster, tree).run_once(4096)
+
+    assert observed.delivered == dict(bare["delivered"])
+    assert observed.sim_time_us == pytest.approx(cluster.now)
+
+
+def test_cli_smoke_writes_artifacts(tmp_path, monkeypatch, capsys):
+    from repro.obs.__main__ import SMOKE_REPORT, SMOKE_TRACE, main
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "# Protocol health report" in out
+
+    trace_path = tmp_path / SMOKE_TRACE
+    report_path = tmp_path / SMOKE_REPORT
+    assert trace_path.exists() and report_path.exists()
+
+    payload = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(payload) == []
+    # The default export is the paper's scheme.
+    assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    report = json.loads(report_path.read_text())
+    assert {r["scheme"] for r in report["runs"]} == set(available_schemes())
+    # nic_based runs first so it feeds the Chrome trace.
+    assert report["runs"][0]["scheme"] == "nic_based"
+
+    # --validate agrees with the library validator.
+    assert main(["--validate", str(trace_path)]) == 0
+
+
+def test_cli_validate_rejects_malformed(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(
+        {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "tid": 0}]}
+    ))
+    assert main(["--validate", str(bad)]) == 2
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_cli_single_scheme_chrome_trace(tmp_path, monkeypatch):
+    from repro.obs.__main__ import main
+
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "out.json"
+    assert main(["--scheme", "nic_based", "--nodes", "8",
+                 "--chrome-trace", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert validate_chrome_trace(payload) == []
+    assert spans_from_chrome_trace(payload, "tx")

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS_US,
+    OCCUPANCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc():
+    reg = MetricsRegistry()
+    reg.inc("a.hits")
+    reg.inc("a.hits", 4)
+    assert reg.value("a.hits") == 5
+    assert reg.counter("a.hits") is reg.get("a.hits")
+
+
+def test_gauge_tracks_high_water():
+    reg = MetricsRegistry()
+    reg.set_gauge("nic.buf", 3)
+    reg.set_gauge("nic.buf", 7)
+    reg.set_gauge("nic.buf", 2)
+    g = reg.get("nic.buf")
+    assert g.value == 2
+    assert g.max_value == 7
+    g.add(-2)
+    assert g.value == 0
+    assert g.max_value == 7
+
+
+def test_histogram_bucketing():
+    h = Histogram("lat", bounds=(1, 10, 100))
+    for v in (0.5, 1, 5, 10, 99, 1000):
+        h.observe(v)
+    # bisect_left on upper bounds: value lands in first bucket >= it.
+    assert h.counts == [2, 2, 1, 1]  # <=1, <=10, <=100, +inf
+    assert h.count == 6
+    assert h.max_seen == 1000
+    assert h.min_seen == 0.5
+
+
+def test_histogram_percentile_conservative_and_overflow():
+    h = Histogram("lat", bounds=(10, 100))
+    for _ in range(99):
+        h.observe(5)
+    h.observe(5000)
+    assert h.percentile(0.50) == 10   # bucket upper bound
+    assert h.percentile(1.0) == 5000  # overflow reports true max
+    with pytest.raises(ValueError):
+        h.percentile(0)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(MetricsError):
+        Histogram("h", bounds=())
+    with pytest.raises(MetricsError):
+        Histogram("h", bounds=(5, 1))
+    with pytest.raises(MetricsError):
+        Histogram("h", bounds=(1, 1, 2))
+
+
+def test_histogram_snapshot_shape():
+    h = Histogram("lat", bounds=(1, 2))
+    h.observe(1.5)
+    snap = h.snapshot()
+    assert snap["type"] == "histogram"
+    assert snap["count"] == 1
+    assert snap["buckets"] == {"<=1": 0, "<=2": 1, "+inf": 0}
+    assert snap["mean"] == 1.5
+    empty = Histogram("e").snapshot()
+    assert empty["count"] == 0
+    assert empty["min"] is None and empty["max"] is None
+
+
+def test_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.inc("x")
+    with pytest.raises(MetricsError):
+        reg.set_gauge("x", 1)
+    with pytest.raises(MetricsError):
+        reg.observe("x", 1.0)
+    # Same type re-registers fine.
+    assert reg.counter("x").value == 1
+
+
+def test_value_defaults_and_histogram_count():
+    reg = MetricsRegistry()
+    assert reg.value("missing") == 0
+    assert reg.value("missing", default=None) is None
+    reg.observe("h", 3.0)
+    reg.observe("h", 4.0)
+    assert reg.value("h") == 2  # histogram -> observation count
+
+
+def test_names_snapshot_section():
+    reg = MetricsRegistry()
+    reg.inc("net.bytes", 100)
+    reg.inc("nic.packets_sent")
+    reg.set_gauge("nic.buf", 2)
+    assert reg.names() == ("net.bytes", "nic.buf", "nic.packets_sent")
+    assert len(reg) == 3
+    assert "net.bytes" in reg
+    snap = reg.snapshot()
+    assert list(snap) == sorted(snap)
+    assert snap["net.bytes"] == {"type": "counter", "value": 100}
+    nic = reg.section("nic")
+    assert set(nic) == {"nic.buf", "nic.packets_sent"}
+    # Prefix match is on dotted boundaries, not substrings.
+    reg.inc("nicety")
+    assert "nicety" not in reg.section("nic")
+
+
+def test_default_bucket_constants_ascending():
+    assert list(LATENCY_BUCKETS_US) == sorted(set(LATENCY_BUCKETS_US))
+    assert list(OCCUPANCY_BUCKETS) == sorted(set(OCCUPANCY_BUCKETS))
+
+
+def test_instrument_repr_free_slots():
+    # __slots__ holds instrument size down; no __dict__ per instrument.
+    assert not hasattr(Counter("c"), "__dict__")
+    assert not hasattr(Gauge("g"), "__dict__")
+    assert not hasattr(Histogram("h"), "__dict__")

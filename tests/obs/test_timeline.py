@@ -1,0 +1,136 @@
+"""Unit tests for the Chrome trace-event exporter."""
+
+from repro.obs.timeline import (
+    chrome_trace,
+    chrome_trace_events,
+    spans_from_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def _rec(t, comp, cat, **fields):
+    return TraceRecord(t, comp, cat, fields)
+
+
+def test_span_pairing_makes_x_events():
+    events = chrome_trace_events([
+        _rec(1.0, "nic[0]", "tx_start", uid=7, dst=1),
+        _rec(4.0, "nic[0]", "tx_done", uid=7),
+    ])
+    x = [e for e in events if e["ph"] == "X"]
+    assert len(x) == 1
+    assert x[0]["name"] == "tx"
+    assert x[0]["ts"] == 1.0 and x[0]["dur"] == 3.0
+    assert x[0]["pid"] == 0
+    assert x[0]["args"]["dst"] == 1
+
+
+def test_reentrant_uid_pairs_as_stack():
+    # A retransmission reuses the uid: two spans, not a swallowed start.
+    events = chrome_trace_events([
+        _rec(1.0, "nic[0]", "tx_start", uid=7),
+        _rec(2.0, "nic[0]", "tx_done", uid=7),
+        _rec(9.0, "nic[0]", "tx_start", uid=7),
+        _rec(11.0, "nic[0]", "tx_done", uid=7),
+    ])
+    x = sorted((e["ts"], e["dur"]) for e in events if e["ph"] == "X")
+    assert x == [(1.0, 1.0), (9.0, 2.0)]
+
+
+def test_unmatched_end_becomes_instant():
+    events = chrome_trace_events([_rec(3.0, "nic[0]", "tx_done", uid=9)])
+    assert [e["ph"] for e in events if e["ph"] not in "M"] == ["i"]
+
+
+def test_pid_per_node_tid_per_engine():
+    events = chrome_trace_events([
+        _rec(1.0, "nic[2]", "rx", uid=1),
+        _rec(2.0, "host[2]", "copy", uid=1),
+        _rec(3.0, "nic[5]", "rx", uid=1),
+        _rec(4.0, "network", "hop", uid=1),
+    ])
+    by_name = {}
+    for e in events:
+        if e["ph"] == "i":
+            by_name[e["name"]] = e
+    assert by_name["rx"]["pid"] in (2, 5)
+    assert by_name["copy"]["pid"] == 2
+    # nic and host on node 2 get distinct tids.
+    nic2 = [e for e in events
+            if e["ph"] == "i" and e["pid"] == 2 and e["name"] == "rx"]
+    host2 = [e for e in events
+             if e["ph"] == "i" and e["pid"] == 2 and e["name"] == "copy"]
+    assert nic2[0]["tid"] != host2[0]["tid"]
+    # "network" has no node index: synthetic pid past the last node (5).
+    assert by_name["hop"]["pid"] == 6
+    # Metadata names the rails.
+    proc_names = {e["pid"]: e["args"]["name"] for e in events
+                  if e["ph"] == "M" and e["name"] == "process_name"}
+    thread_names = {e["args"]["name"] for e in events
+                    if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert proc_names[2] == "node[2]"
+    assert proc_names[6] == "network"
+    assert {"nic", "host"} <= thread_names
+
+
+def test_payload_shape_and_validator_accepts():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "nic[0]", "tx_start", {"uid": 1})
+    tracer.record(2.0, "nic[0]", "tx_done", {"uid": 1})
+    payload = chrome_trace(tracer)
+    assert payload["otherData"]["time_unit"] == "us"
+    assert validate_chrome_trace(payload) == []
+
+
+def test_validator_rejects_malformed():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": 3}) != []
+    bad_ph = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "tid": 0}]}
+    assert any("bad ph" in e for e in validate_chrome_trace(bad_ph))
+    no_ts = {"traceEvents": [{"ph": "i", "name": "x", "pid": 0, "tid": 0}]}
+    assert any("ts" in e for e in validate_chrome_trace(no_ts))
+    bool_ts = {"traceEvents": [
+        {"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": True}]}
+    assert any("ts" in e for e in validate_chrome_trace(bool_ts))
+    no_dur = {"traceEvents": [
+        {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1.0}]}
+    assert any("dur" in e for e in validate_chrome_trace(no_dur))
+
+
+def test_json_safe_coerces_exotic_fields(tmp_path):
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    tracer = Tracer(enabled=True)
+    tracer.record(0.0, "nic[0]", "evt", {
+        "obj": Opaque(), "seq": {3, 1}, "pair": (1, 2), "sub": {"k": Opaque()},
+    })
+    path = tmp_path / "t.json"
+    payload = write_chrome_trace(str(path), tracer)
+    assert path.exists()
+    inst = [e for e in payload["traceEvents"] if e["ph"] == "i"][0]
+    assert inst["args"]["obj"] == "<opaque>"
+    assert inst["args"]["seq"] == [1, 3]
+    assert inst["args"]["pair"] == [1, 2]
+    assert inst["args"]["sub"] == {"k": "<opaque>"}
+
+
+def test_spans_from_chrome_trace_roundtrip():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "nic[3]", "tx_start", {"uid": 4})
+    tracer.record(2.5, "nic[3]", "tx_done", {"uid": 4})
+    payload = chrome_trace(tracer)
+    assert spans_from_chrome_trace(payload, "tx") == [(3, 1.0, 2.5)]
+    assert spans_from_chrome_trace(payload, "nope") == []
+
+
+def test_events_sorted_by_time():
+    events = chrome_trace_events([
+        _rec(5.0, "nic[1]", "b", uid=1),
+        _rec(1.0, "nic[0]", "a", uid=2),
+    ])
+    ts = [e["ts"] for e in events if e["ph"] != "M"]
+    assert ts == sorted(ts)

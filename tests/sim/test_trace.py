@@ -62,6 +62,37 @@ def test_spans_pairing():
     assert spans == [(1, 1.0, 3.0), (2, 2.0, 5.0)]
 
 
+def test_spans_reentrant_key_reopens():
+    """Regression: a key that re-opens after closing (a retransmitted seq
+    re-entering tx) must yield one span per start/end pair — the old
+    ``setdefault`` silently dropped every start after the first."""
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "c", "start", {"id": 7})
+    tracer.record(2.0, "c", "end", {"id": 7})
+    tracer.record(5.0, "c", "start", {"id": 7})  # retransmission re-opens
+    tracer.record(6.0, "c", "end", {"id": 7})
+    spans = tracer.spans("start", "end", "id")
+    assert spans == [(7, 1.0, 2.0), (7, 5.0, 6.0)]
+
+
+def test_spans_nested_starts_pair_as_stack():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "c", "start", {"id": 7})
+    tracer.record(2.0, "c", "start", {"id": 7})  # re-entrant while open
+    tracer.record(3.0, "c", "end", {"id": 7})    # closes the 2.0 start
+    tracer.record(4.0, "c", "end", {"id": 7})    # closes the 1.0 start
+    spans = tracer.spans("start", "end", "id")
+    assert spans == [(7, 2.0, 3.0), (7, 1.0, 4.0)]
+
+
+def test_spans_excess_end_ignored_after_stack_drains():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "c", "start", {"id": 1})
+    tracer.record(2.0, "c", "end", {"id": 1})
+    tracer.record(3.0, "c", "end", {"id": 1})  # stack empty: ignored
+    assert tracer.spans("start", "end", "id") == [(1, 1.0, 2.0)]
+
+
 def test_iteration():
     tracer = Tracer(enabled=True)
     tracer.record(0.0, "c", "k", {})

@@ -72,6 +72,27 @@ def test_intermediates_idle_hosts_under_nb():
     assert all(n.host_compute == 0 for n in nb.nodes)
 
 
+def test_multicast_nic_cpu_exceeds_host_busy():
+    """The paper's offload claim on a multicast (not unicast) workload:
+    under the registry's nic_based scheme the whole protocol runs on the
+    LANai, so NIC-CPU busy time dominates host busy time — in aggregate
+    and on every node (intermediates forward without host involvement)."""
+    from repro.mcast.manager import run_scheme as run_registered_scheme
+
+    cluster = Cluster(ClusterConfig(n_nodes=8))
+    tree = build_tree(0, range(1, 8), shape="optimal",
+                      cost=cluster.cost, size=4096)
+    result = run_registered_scheme(cluster, "nic_based", tree, 4096)
+    assert len(result["delivered"]) == 7  # all members got the message
+
+    report = cluster_utilization(cluster)
+    total_host = sum(n.host_compute for n in report.nodes)
+    assert report.total_nic_cpu > total_host
+    assert report.total_nic_cpu > 0
+    for n in report.nodes:
+        assert n.nic_cpu >= n.host_compute
+
+
 def test_resource_busy_accounting_unit():
     from repro.sim import Resource, Simulator
 

@@ -14,16 +14,21 @@ def test_layering_clean():
     assert proc.returncode == 0, proc.stderr
 
 
-def test_checker_sees_through_guards():
-    # The checker must ignore TYPE_CHECKING-only imports but catch
-    # runtime ones, wherever they hide.
-    import ast
+def _load_checker():
     import importlib.util
 
     spec = importlib.util.spec_from_file_location("check_layering", SCRIPT)
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
+    return mod
 
+
+def test_checker_sees_through_guards():
+    # The checker must ignore TYPE_CHECKING-only imports but catch
+    # runtime ones, wherever they hide.
+    import ast
+
+    mod = _load_checker()
     tree = ast.parse(
         "from typing import TYPE_CHECKING\n"
         "if TYPE_CHECKING:\n"
@@ -34,3 +39,40 @@ def test_checker_sees_through_guards():
     modules = [m for _, m in mod.runtime_imports(tree)]
     assert "repro.mcast" in modules
     assert "repro.gm" not in modules
+
+
+def test_obs_back_edge_rule(tmp_path):
+    """Instrumented layers must not import repro.obs; experiments and
+    perf (which aggregate/report) may."""
+    mod = _load_checker()
+    src = tmp_path / "src" / "repro"
+    (src / "nic").mkdir(parents=True)
+    (src / "perf").mkdir()
+    (src / "nic" / "bad.py").write_text(
+        "import repro.obs\n"
+    )
+    (src / "perf" / "ok.py").write_text(
+        "from repro.obs.registry import MetricsRegistry\n"
+    )
+    mod.SRC = src
+    mod.REPO = tmp_path
+
+    violations = mod.check_obs_back_edges()
+    assert len(violations) == 1
+    assert "nic/bad.py" in violations[0].replace("\\", "/")
+    assert "repro.obs" in violations[0]
+
+
+def test_obs_type_checking_import_allowed(tmp_path):
+    # Annotations may name obs types without a runtime back-edge.
+    mod = _load_checker()
+    src = tmp_path / "src" / "repro"
+    (src / "gm").mkdir(parents=True)
+    (src / "gm" / "annotated.py").write_text(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.obs import MetricsRegistry\n"
+    )
+    mod.SRC = src
+    mod.REPO = tmp_path
+    assert mod.check_obs_back_edges() == []

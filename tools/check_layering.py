@@ -1,14 +1,19 @@
 #!/usr/bin/env python
 """Enforce the import layering described in docs/architecture.md.
 
-Two rules are load-bearing enough to gate CI on:
+Three rules are load-bearing enough to gate CI on:
 
 * ``repro.sim`` is the bottom of the stack: it may import nothing from
   the rest of the package except :mod:`repro.perf.counters` (a leaf the
   kernel increments on its hot path);
 * ``repro.proto`` is the transport-agnostic reliability core: it sits
   below the protocol engines and must never import ``repro.gm`` or
-  ``repro.mcast`` (nor anything above them).
+  ``repro.mcast`` (nor anything above them);
+* ``repro.obs`` is the observation layer on *top*: it may import from
+  every layer, but nothing outside ``repro.obs``, ``repro.experiments``,
+  and ``repro.perf`` may import it back (instrumented layers reach the
+  registry only through the duck-typed ``sim.metrics`` slot — no
+  instrumentation back-edges).
 
 Imports guarded by ``if TYPE_CHECKING:`` are ignored — annotations may
 name types from anywhere without creating a runtime dependency.
@@ -38,6 +43,28 @@ ALLOWED = {
         "repro.perf",
     ),
 }
+
+#: Packages (and top-level modules) allowed to import ``repro.obs``.
+OBS_IMPORTERS = ("obs", "experiments", "perf")
+
+
+def check_obs_back_edges() -> list[str]:
+    """No module outside :data:`OBS_IMPORTERS` may import ``repro.obs``."""
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel_parts = path.relative_to(SRC).parts
+        owner = rel_parts[0] if len(rel_parts) > 1 else path.stem
+        if owner in OBS_IMPORTERS:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, module in runtime_imports(tree):
+            if module == "repro.obs" or module.startswith("repro.obs."):
+                rel = path.relative_to(REPO)
+                violations.append(
+                    f"{rel}:{lineno}: only {', '.join(OBS_IMPORTERS)} may "
+                    f"import repro.obs (instrumentation back-edge)"
+                )
+    return violations
 
 
 def _is_type_checking_guard(node: ast.If) -> bool:
@@ -107,12 +134,16 @@ def main() -> int:
     violations = []
     for package, allowed in ALLOWED.items():
         violations.extend(check_package(package, allowed))
+    violations.extend(check_obs_back_edges())
     if violations:
         print("import layering violations:", file=sys.stderr)
         for v in violations:
             print(f"  {v}", file=sys.stderr)
         return 1
-    print(f"layering clean: {', '.join(ALLOWED)} respect their bounds")
+    print(
+        f"layering clean: {', '.join(ALLOWED)} respect their bounds; "
+        "no repro.obs back-edges"
+    )
     return 0
 
 
