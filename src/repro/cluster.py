@@ -39,6 +39,10 @@ class Cluster:
         self.cost = cfg.cost
         self.sim = Simulator(seed=cfg.seed, trace=cfg.trace)
         self.topology = self._build_topology()
+        if loss is None and cfg.loss is not None:
+            # The declarative spec in the config (serializable scenarios);
+            # an explicit model argument wins (tests with ScriptedLoss).
+            loss = cfg.loss.build()
         self.network = Network(self.sim, self.topology, loss=loss)
         self.nodes: list[Node] = [
             Node(self.sim, i, cfg.cost, self.network) for i in range(cfg.n_nodes)

@@ -21,8 +21,14 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
-class ConfigError(ReproError):
-    """Invalid cluster or cost-model configuration."""
+class ConfigError(ReproError, ValueError):
+    """Invalid cluster, cost-model, or scenario configuration.
+
+    Also a :class:`ValueError`: config knobs historically surfaced bad
+    values that way (``measure_multisend(..., "quantum")``), and callers
+    catching either spelling must keep working now that validation lives
+    in the scenario specs.
+    """
 
 
 class ProtectionError(ReproError):

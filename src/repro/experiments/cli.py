@@ -1,4 +1,5 @@
-"""Command line driver: regenerate the paper's figures.
+"""Command line driver: regenerate the paper's figures, or run any
+user-written scenario spec.
 
 Usage::
 
@@ -6,6 +7,7 @@ Usage::
     python -m repro.experiments --all --quick
     python -m repro.experiments --all -o EXPERIMENTS-results.md
     python -m repro.experiments --figure fig5 --metrics  # + fig5.metrics.json
+    python -m repro.experiments --scenario examples/scenarios/spec.json
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import time
 
 from repro.experiments import FIGURES
 from repro.experiments.parallel import default_jobs
+from repro.experiments.report import render_scenario_result
 
 __all__ = ["main"]
 
@@ -68,6 +71,35 @@ def _run_with_metrics(figure_id: str, quick: bool, started: float):
     return result, sidecar
 
 
+def run_scenario_file(path: str, metrics: bool = False) -> str:
+    """Run one serialized scenario spec; return the rendered result.
+
+    With ``metrics``, a registry observes the run and a
+    ``<name>.metrics.json`` sidecar lands next to the invocation.
+    """
+    from repro.scenario import Harness, ScenarioSpec
+
+    with open(path, encoding="utf-8") as fh:
+        spec = ScenarioSpec.from_json(fh.read())
+    registry = None
+    if metrics:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    result = Harness(spec, registry=registry).run()
+    text = render_scenario_result(result)
+    if registry is not None:
+        sidecar = f"{spec.name or 'scenario'}.metrics.json"
+        with open(sidecar, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"scenario": spec.to_dict(), "metrics": registry.snapshot()},
+                fh, indent=1, sort_keys=True,
+            )
+            fh.write("\n")
+        text += f"\nwrote {sidecar}"
+    return text
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -98,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         "<figure>.metrics.json sidecar per figure (forces --jobs 1: the "
         "registry observes this process only)",
     )
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="SPEC.json",
+        help="run a serialized scenario spec end-to-end (repeatable; "
+        "see examples/scenarios/ and docs/architecture.md)",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
@@ -105,8 +142,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.metrics:
         jobs = 1
     targets = sorted(FIGURES) if args.all else (args.figure or [])
-    if not targets:
-        parser.error("pick --all or at least one --figure")
+    scenarios = args.scenario or []
+    if not targets and not scenarios:
+        parser.error("pick --all, at least one --figure, or --scenario")
     chunks: list[str] = []
     for figure_id in targets:
         started = time.time()
@@ -126,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"{k}={v:.1f}us"
                 for k, v in result.extra["forwarding_timeline"].items()
             )
+        print(text)
+        print(f"({time.time() - started:.1f}s wall)\n", flush=True)
+        chunks.append(text)
+    for path in scenarios:
+        started = time.time()
+        print(f"=== scenario {path} ===", flush=True)
+        text = run_scenario_file(path, metrics=args.metrics)
         print(text)
         print(f"({time.time() - started:.1f}s wall)\n", flush=True)
         chunks.append(text)

@@ -10,23 +10,19 @@ at 16 KB.
 
 from __future__ import annotations
 
-from repro.experiments.parallel import SweepCell, run_cells
+from repro.experiments.parallel import run_grid
 from repro.experiments.report import FigureResult, Series
-from repro.experiments.runner import PAPER_SIZES, measure_multisend
 from repro.gm.params import GMCostModel
+from repro.scenario import (
+    PAPER_SIZES,
+    QUICK_SIZES,
+    ScenarioGrid,
+    multisend_point,
+)
 
 __all__ = ["run", "DEST_COUNTS"]
 
 DEST_COUNTS = (3, 4, 8)
-
-
-def _cell(
-    k: int, size: int, iterations: int, cost: GMCostModel
-) -> tuple[float, float]:
-    """One (destination count, message size) point: hb and nb latency."""
-    hb = measure_multisend(k, size, "hb", iterations=iterations, cost=cost)
-    nb = measure_multisend(k, size, "nb", iterations=iterations, cost=cost)
-    return hb, nb
 
 
 def run(
@@ -36,9 +32,7 @@ def run(
     jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
-    sizes = sizes or (
-        [1, 64, 512, 4096, 16384] if quick else PAPER_SIZES
-    )
+    sizes = sizes or (QUICK_SIZES["multisend"] if quick else PAPER_SIZES)
     iterations = 10 if quick else 30
     result = FigureResult(
         figure_id="fig3",
@@ -51,20 +45,24 @@ def run(
         for k in DEST_COUNTS
     }
     imp = {k: Series(label=f"factor-{k}dest") for k in DEST_COUNTS}
-    grid = [(size, k) for size in sizes for k in DEST_COUNTS]
-    cells = [
-        SweepCell(
-            figure="fig3",
-            fn=_cell,
-            args=(k, size, iterations, cost),
-            label=f"fig3[k={k},size={size}]",
-        )
-        for size, k in grid
-    ]
-    for (size, k), (hb, nb) in zip(grid, run_cells(cells, jobs=jobs)):
-        lat[("hb", k)].add(size, hb)
-        lat[("nb", k)].add(size, nb)
-        imp[k].add(size, hb / nb)
+    grid = ScenarioGrid("fig3")
+    for size in sizes:
+        for k in DEST_COUNTS:
+            for scheme in ("hb", "nb"):
+                grid.add(
+                    (scheme, k, size),
+                    multisend_point(
+                        k, size, scheme, iterations=iterations, cost=cost
+                    ),
+                    label=f"fig3[{scheme},k={k},size={size}]",
+                )
+    values = run_grid(grid, jobs=jobs)
+    for size in sizes:
+        for k in DEST_COUNTS:
+            hb, nb = values[("hb", k, size)], values[("nb", k, size)]
+            lat[("hb", k)].add(size, hb)
+            lat[("nb", k)].add(size, nb)
+            imp[k].add(size, hb / nb)
     result.series = [lat[("hb", k)] for k in DEST_COUNTS]
     result.series += [lat[("nb", k)] for k in DEST_COUNTS]
     result.series += [imp[k] for k in DEST_COUNTS]

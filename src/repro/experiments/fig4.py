@@ -7,23 +7,19 @@ largest eager message) from the final-copy cost.
 
 from __future__ import annotations
 
-from repro.experiments.parallel import SweepCell, run_cells
+from repro.experiments.parallel import run_grid
 from repro.experiments.report import FigureResult, Series
-from repro.experiments.runner import MPI_SIZES, measure_mpi_bcast
 from repro.gm.params import GMCostModel
+from repro.scenario import (
+    MPI_SIZES,
+    QUICK_SIZES,
+    ScenarioGrid,
+    mpi_bcast_point,
+)
 
 __all__ = ["run", "NODE_COUNTS"]
 
 NODE_COUNTS = (4, 8, 16)
-
-
-def _cell(
-    n: int, size: int, iterations: int, cost: GMCostModel
-) -> tuple[float, float]:
-    """One (rank count, message size) point: hb and nb bcast latency."""
-    hb = measure_mpi_bcast(n, size, nic=False, iterations=iterations, cost=cost)
-    nb = measure_mpi_bcast(n, size, nic=True, iterations=iterations, cost=cost)
-    return hb, nb
 
 
 def run(
@@ -34,7 +30,7 @@ def run(
     jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
-    sizes = sizes or ([4, 512, 8192, 16287] if quick else MPI_SIZES)
+    sizes = sizes or (QUICK_SIZES["mpi_bcast"] if quick else MPI_SIZES)
     iterations = 6 if quick else 20
     result = FigureResult(
         figure_id="fig4",
@@ -46,20 +42,25 @@ def run(
         for n in node_counts
     }
     imp = {n: Series(label=f"factor-{n}") for n in node_counts}
-    grid = [(size, n) for size in sizes for n in node_counts]
-    cells = [
-        SweepCell(
-            figure="fig4",
-            fn=_cell,
-            args=(n, size, iterations, cost),
-            label=f"fig4[n={n},size={size}]",
-        )
-        for size, n in grid
-    ]
-    for (size, n), (hb, nb) in zip(grid, run_cells(cells, jobs=jobs)):
-        lat[("HB", n)].add(size, hb)
-        lat[("NB", n)].add(size, nb)
-        imp[n].add(size, hb / nb)
+    grid = ScenarioGrid("fig4")
+    for size in sizes:
+        for n in node_counts:
+            for scheme in ("HB", "NB"):
+                grid.add(
+                    (scheme, n, size),
+                    mpi_bcast_point(
+                        n, size, nic=(scheme == "NB"),
+                        iterations=iterations, cost=cost,
+                    ),
+                    label=f"fig4[{scheme},n={n},size={size}]",
+                )
+    values = run_grid(grid, jobs=jobs)
+    for size in sizes:
+        for n in node_counts:
+            hb, nb = values[("HB", n, size)], values[("NB", n, size)]
+            lat[("HB", n)].add(size, hb)
+            lat[("NB", n)].add(size, nb)
+            imp[n].add(size, hb / nb)
     result.series = [lat[("HB", n)] for n in node_counts]
     result.series += [lat[("NB", n)] for n in node_counts]
     result.series += [imp[n] for n in node_counts]

@@ -8,23 +8,19 @@ the pipelining benefit).
 
 from __future__ import annotations
 
-from repro.experiments.parallel import SweepCell, run_cells
+from repro.experiments.parallel import run_grid
 from repro.experiments.report import FigureResult, Series
-from repro.experiments.runner import PAPER_SIZES, measure_gm_multicast
 from repro.gm.params import GMCostModel
+from repro.scenario import (
+    PAPER_SIZES,
+    QUICK_SIZES,
+    ScenarioGrid,
+    multicast_point,
+)
 
 __all__ = ["run", "NODE_COUNTS"]
 
 NODE_COUNTS = (4, 8, 16)
-
-
-def _cell(
-    n: int, size: int, iterations: int, cost: GMCostModel
-) -> tuple[float, float]:
-    """One (system size, message size) point: hb and nb latency."""
-    hb = measure_gm_multicast(n, size, "hb", iterations=iterations, cost=cost)
-    nb = measure_gm_multicast(n, size, "nb", iterations=iterations, cost=cost)
-    return hb.latency, nb.latency
 
 
 def run(
@@ -35,9 +31,7 @@ def run(
     jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
-    sizes = sizes or (
-        [1, 512, 4096, 16384] if quick else PAPER_SIZES
-    )
+    sizes = sizes or (QUICK_SIZES["multicast"] if quick else PAPER_SIZES)
     iterations = 8 if quick else 25
     result = FigureResult(
         figure_id="fig5",
@@ -50,20 +44,25 @@ def run(
         for n in node_counts
     }
     imp = {n: Series(label=f"factor-{n}") for n in node_counts}
-    grid = [(size, n) for size in sizes for n in node_counts]
-    cells = [
-        SweepCell(
-            figure="fig5",
-            fn=_cell,
-            args=(n, size, iterations, cost),
-            label=f"fig5[n={n},size={size}]",
-        )
-        for size, n in grid
-    ]
-    for (size, n), (hb_lat, nb_lat) in zip(grid, run_cells(cells, jobs=jobs)):
-        lat[("hb", n)].add(size, hb_lat)
-        lat[("nb", n)].add(size, nb_lat)
-        imp[n].add(size, hb_lat / nb_lat)
+    grid = ScenarioGrid("fig5")
+    for size in sizes:
+        for n in node_counts:
+            for scheme in ("hb", "nb"):
+                grid.add(
+                    (scheme, n, size),
+                    multicast_point(
+                        n, size, scheme, iterations=iterations, cost=cost
+                    ),
+                    label=f"fig5[{scheme},n={n},size={size}]",
+                )
+    values = run_grid(grid, jobs=jobs)
+    for size in sizes:
+        for n in node_counts:
+            hb_lat = values[("hb", n, size)].latency
+            nb_lat = values[("nb", n, size)].latency
+            lat[("hb", n)].add(size, hb_lat)
+            lat[("nb", n)].add(size, nb_lat)
+            imp[n].add(size, hb_lat / nb_lat)
     result.series = [lat[("hb", n)] for n in node_counts]
     result.series += [lat[("nb", n)] for n in node_counts]
     result.series += [imp[n] for n in node_counts]

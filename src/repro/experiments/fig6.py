@@ -9,13 +9,11 @@ average skew of 400 µs (and up to 2.9 for 2 KB).
 
 from __future__ import annotations
 
-from repro.cluster import Cluster
-from repro.config import ClusterConfig
-from repro.experiments.parallel import SweepCell, run_cells
+from repro.experiments.parallel import run_grid
 from repro.experiments.report import FigureResult, Series
 from repro.gm.params import GMCostModel
-from repro.mpi.comm import Communicator
-from repro.mpi.skew import run_skew_experiment
+from repro.mpi.skew import SkewResult
+from repro.scenario import QUICK_MAX_SKEWS, Harness, ScenarioGrid, skew_point
 
 __all__ = ["run", "SMALL_SIZES", "skew_sweep_point"]
 
@@ -33,21 +31,12 @@ def skew_sweep_point(
     iterations: int,
     cost: GMCostModel,
     seed: int = 0,
-):
-    cluster = Cluster(ClusterConfig(n_nodes=n, cost=cost, seed=seed))
-    comm = Communicator(cluster, nic_bcast=nic)
-    return run_skew_experiment(
-        comm, size=size, max_skew=max_skew, iterations=iterations, warmup=3
+) -> SkewResult:
+    """One skew measurement (kept for direct callers; spec-driven)."""
+    spec = skew_point(
+        n, nic, max_skew, size, iterations, cost=cost, seed=seed
     )
-
-
-def _cell(
-    n: int, size: int, max_skew: float, iterations: int, cost: GMCostModel
-):
-    """One (message size, max skew) point: hb and nb skew results."""
-    hb = skew_sweep_point(n, False, max_skew, size, iterations, cost)
-    nb = skew_sweep_point(n, True, max_skew, size, iterations, cost)
-    return hb, nb
+    return Harness(spec).run().values[size]
 
 
 def run(
@@ -58,7 +47,7 @@ def run(
     jobs: int | None = 1,
 ) -> FigureResult:
     cost = cost or GMCostModel()
-    max_skews = (0.0, 800.0, 3200.0) if quick else MAX_SKEWS
+    max_skews = QUICK_MAX_SKEWS if quick else MAX_SKEWS
     iterations = 10 if quick else 30
     result = FigureResult(
         figure_id="fig6",
@@ -72,24 +61,30 @@ def run(
     }
     imp = {size: Series(label=f"factor-{size}B") for size in sizes}
     factor_at_400 = []
-    grid = [(size, max_skew) for size in sizes for max_skew in max_skews]
-    cells = [
-        SweepCell(
-            figure="fig6",
-            fn=_cell,
-            args=(n, size, max_skew, iterations, cost),
-            label=f"fig6[size={size},skew={max_skew:g}]",
-        )
-        for size, max_skew in grid
-    ]
-    for (size, max_skew), (hb, nb) in zip(grid, run_cells(cells, jobs=jobs)):
-        x = round(hb.mean_applied_skew, 1)
-        cpu[("HB", size)].add(x, hb.mean_bcast_cpu_time)
-        cpu[("NB", size)].add(x, nb.mean_bcast_cpu_time)
-        factor = hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
-        imp[size].add(x, factor)
-        if max_skew == 3200.0:  # mean applied ~400 µs
-            factor_at_400.append(factor)
+    grid = ScenarioGrid("fig6")
+    for size in sizes:
+        for max_skew in max_skews:
+            for scheme in ("HB", "NB"):
+                grid.add(
+                    (scheme, size, max_skew),
+                    skew_point(
+                        n, scheme == "NB", max_skew, size, iterations,
+                        cost=cost,
+                    ),
+                    label=f"fig6[{scheme},size={size},skew={max_skew:g}]",
+                )
+    values = run_grid(grid, jobs=jobs)
+    for size in sizes:
+        for max_skew in max_skews:
+            hb = values[("HB", size, max_skew)]
+            nb = values[("NB", size, max_skew)]
+            x = round(hb.mean_applied_skew, 1)
+            cpu[("HB", size)].add(x, hb.mean_bcast_cpu_time)
+            cpu[("NB", size)].add(x, nb.mean_bcast_cpu_time)
+            factor = hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
+            imp[size].add(x, factor)
+            if max_skew == 3200.0:  # mean applied ~400 µs
+                factor_at_400.append(factor)
     result.series = [cpu[("HB", s)] for s in sizes]
     result.series += [cpu[("NB", s)] for s in sizes]
     result.series += [imp[s] for s in sizes]

@@ -8,10 +8,10 @@ NIC-based multicast for the reduced effects of process skew."
 
 from __future__ import annotations
 
-from repro.experiments.fig6 import skew_sweep_point
-from repro.experiments.parallel import SweepCell, run_cells
+from repro.experiments.parallel import run_grid
 from repro.experiments.report import FigureResult, Series
 from repro.gm.params import GMCostModel
+from repro.scenario import ScenarioGrid, skew_point
 
 __all__ = ["run", "SIZES", "NODE_COUNTS"]
 
@@ -19,13 +19,6 @@ SIZES = (4, 4096)  #: paper: 4-byte and 4 KB messages
 NODE_COUNTS = (4, 8, 12, 16)
 #: uniform ±1600 µs draw -> mean applied skew ≈ 400 µs
 MAX_SKEW = 3200.0
-
-
-def _cell(n: int, size: int, iterations: int, cost: GMCostModel) -> float:
-    """One (system size, message size) point: the improvement factor."""
-    hb = skew_sweep_point(n, False, MAX_SKEW, size, iterations, cost)
-    nb = skew_sweep_point(n, True, MAX_SKEW, size, iterations, cost)
-    return hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time
 
 
 def run(
@@ -42,21 +35,25 @@ def run(
         title="Skew-tolerance improvement factor vs system size "
         "(~400 µs mean skew)",
     )
-    grid = [(size, n) for size in SIZES for n in counts]
-    cells = [
-        SweepCell(
-            figure="fig7",
-            fn=_cell,
-            args=(n, size, iterations, cost),
-            label=f"fig7[n={n},size={size}]",
-        )
-        for size, n in grid
-    ]
-    factors = dict(zip(grid, run_cells(cells, jobs=jobs)))
+    grid = ScenarioGrid("fig7")
+    for size in SIZES:
+        for n in counts:
+            for scheme in ("HB", "NB"):
+                grid.add(
+                    (scheme, size, n),
+                    skew_point(
+                        n, scheme == "NB", MAX_SKEW, size, iterations,
+                        cost=cost,
+                    ),
+                    label=f"fig7[{scheme},n={n},size={size}]",
+                )
+    values = run_grid(grid, jobs=jobs)
     for size in SIZES:
         series = Series(label=f"factor-{size}B")
         for n in counts:
-            series.add(n, factors[(size, n)])
+            hb = values[("HB", size, n)]
+            nb = values[("NB", size, n)]
+            series.add(n, hb.mean_bcast_cpu_time / nb.mean_bcast_cpu_time)
         result.series.append(series)
     for series in result.series:
         first, last = series.ys()[0], series.ys()[-1]

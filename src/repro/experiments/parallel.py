@@ -31,6 +31,7 @@ __all__ = [
     "SweepExecutor",
     "default_jobs",
     "run_cells",
+    "run_grid",
 ]
 
 
@@ -141,3 +142,31 @@ def run_cells(
 ) -> list[Any]:
     """One-shot convenience wrapper used by the figure modules."""
     return SweepExecutor(jobs=jobs).run(cells)
+
+
+def run_grid(grid: Any, jobs: int | None = 1) -> dict[Any, Any]:
+    """Execute a :class:`~repro.scenario.grid.ScenarioGrid`.
+
+    Each cell's spec travels to its worker as JSON (strings pickle
+    trivially) and is rebuilt there by
+    :func:`repro.scenario.harness.run_cell`.  Returns ``{key: value}``
+    in declaration order; single-size specs yield the bare point value,
+    multi-size specs a ``{size: value}`` dict.
+    """
+    from repro.scenario.harness import run_cell
+
+    cells = [
+        SweepCell(
+            figure=grid.figure,
+            fn=run_cell,
+            args=(cell.spec.to_json(),),
+            label=cell.label,
+        )
+        for cell in grid.cells
+    ]
+    values = run_cells(cells, jobs=jobs)
+    out: dict[Any, Any] = {}
+    for cell, by_size in zip(grid.cells, values):
+        sizes = cell.spec.measurement.sizes
+        out[cell.key] = by_size[sizes[0]] if len(sizes) == 1 else by_size
+    return out

@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["Series", "FigureResult", "render_table"]
+__all__ = [
+    "Series",
+    "FigureResult",
+    "render_table",
+    "render_scenario_result",
+]
 
 
 @dataclass
@@ -75,6 +80,63 @@ class FigureResult:
         for note in self.notes:
             out.append(f"note: {note}")
         return "\n".join(out)
+
+
+def render_scenario_result(result: Any) -> str:
+    """Render a :class:`~repro.scenario.harness.ScenarioResult` as text.
+
+    Duck-typed over the per-point value shapes the harness produces
+    (plain latencies, multicast measurements with per-destination
+    detail, skew results) so this module needs no scenario import.
+    """
+    spec = result.spec
+    w = spec.workload
+    title = spec.name or f"{w.kind} scenario"
+    head = [
+        f"## scenario: {title}",
+        f"workload: {w.kind} scheme={w.scheme} "
+        f"n_nodes={spec.cluster.n_nodes} topology={spec.cluster.topology}"
+        + (f" tree={w.tree_shape}" if w.tree_shape else "")
+        + (f" max_skew={w.max_skew:g}" if w.max_skew else "")
+        + (
+            f" loss={spec.cluster.loss.kind}"
+            if spec.cluster.loss is not None
+            else ""
+        ),
+        f"measurement: iterations={spec.measurement.iterations} "
+        f"warmup={spec.measurement.warmup} metric={result.metric}",
+        "",
+    ]
+    sizes = list(result.values)
+    sample = result.values[sizes[0]]
+    if hasattr(sample, "per_dest_delivery"):  # MulticastMeasurement
+        headers = ["size", "latency", "max delivery", "ack trip"]
+        rows = [
+            [
+                str(size),
+                f"{m.latency:.2f}",
+                f"{max(m.per_dest_delivery.values()):.2f}",
+                f"{m.ack_trip:.2f}",
+            ]
+            for size, m in result.values.items()
+        ]
+    elif hasattr(sample, "mean_bcast_cpu_time"):  # SkewResult
+        headers = ["size", "mean applied skew", "bcast cpu time"]
+        rows = [
+            [
+                str(size),
+                f"{r.mean_applied_skew:.2f}",
+                f"{r.mean_bcast_cpu_time:.2f}",
+            ]
+            for size, r in result.values.items()
+        ]
+    else:
+        headers = ["size", result.metric]
+        rows = [
+            [str(size), f"{value:.2f}"]
+            for size, value in result.values.items()
+        ]
+    return "\n".join(head) + render_table(headers, rows)
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

@@ -1,31 +1,31 @@
-"""Measurement harness: the paper's timing methodology in simulation.
+"""Measurement entry points: thin wrappers over the scenario harness.
 
-The paper times 10,000 iterations after 20 warmup iterations on real
-hardware; the simulator is deterministic, so far fewer iterations give
-stable means (loss-free runs are exactly periodic).  Methodology notes:
-
-* **Multisend (Fig. 3)** — "the source node transmits a message to
-  multiple destinations and waits for an acknowledgment from the last
-  destination": one iteration = post → all GM acks back at the root.
-* **Multicast (Figs. 4/5)** — "wait for an acknowledgment from one of
-  the leaf nodes ... repeated with different leaf nodes ... maximum
-  taken": we record every destination's delivery time each iteration
-  and add the measured 0-byte unicast (the leaf's ack trip), then take
-  the maximum over destinations — the same quantity in one run.
+Each ``measure_*`` builds the corresponding declarative
+:class:`~repro.scenario.spec.ScenarioSpec` point and executes it through
+:class:`~repro.scenario.harness.Harness` — the program templates,
+round tracking, and the paper's timing methodology all live there (see
+that module's docstring).  The wrappers keep the historical call
+signatures the tests and benchmarks use; their results are
+byte-identical to the pre-scenario imperative harness (locked by
+``tests/experiments/test_golden_regression.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from statistics import mean
-from typing import Any, Generator
-
-from repro.cluster import Cluster
-from repro.config import ClusterConfig
 from repro.gm.params import GMCostModel
-from repro.mcast.schemes import create_scheme, get_scheme, resolve_scheme
-from repro.mpi.comm import Communicator
-from repro.trees import build_tree
+from repro.scenario.harness import (
+    Harness,
+    MulticastMeasurement,
+    measured_ack_trip,
+)
+from repro.scenario.spec import (
+    MPI_SIZES,
+    PAPER_SIZES,
+    mpi_bcast_point,
+    multicast_point,
+    multisend_point,
+    unicast_point,
+)
 
 __all__ = [
     "MulticastMeasurement",
@@ -33,23 +33,13 @@ __all__ = [
     "measure_multisend",
     "measure_gm_multicast",
     "measure_mpi_bcast",
+    "measured_ack_trip",
     "PAPER_SIZES",
     "MPI_SIZES",
 ]
 
-#: Message sizes swept in the paper's GM-level figures.
-PAPER_SIZES = [1, 4, 16, 64, 256, 512, 1024, 2048, 4096, 8192, 16384]
-#: MPI-level sweep ends at the largest eager message.
-MPI_SIZES = [1, 4, 16, 64, 256, 512, 1024, 2048, 4096, 8192, 16287]
-
 DEFAULT_ITERATIONS = 30
 DEFAULT_WARMUP = 5
-
-
-def _cluster(n: int, cost: GMCostModel | None, seed: int) -> Cluster:
-    return Cluster(
-        ClusterConfig(n_nodes=n, cost=cost or GMCostModel(), seed=seed)
-    )
 
 
 def measure_unicast(
@@ -59,28 +49,8 @@ def measure_unicast(
     seed: int = 0,
 ) -> float:
     """Mean one-way GM latency (send post → receive event at the host)."""
-    cluster = _cluster(2, cost, seed)
-    deliveries: list[float] = []
-    starts: list[float] = []
-
-    def receiver() -> Generator:
-        port = cluster.port(1)
-        for _ in range(iterations):
-            yield from port.receive()
-            deliveries.append(cluster.now)
-            yield from port.provide_receive_buffer()
-
-    def sender() -> Generator:
-        port = cluster.port(0)
-        for _ in range(iterations):
-            starts.append(cluster.now)
-            handle = yield from port.send(1, size)
-            yield handle.done
-
-    s = cluster.spawn(sender())
-    r = cluster.spawn(receiver())
-    cluster.run(until=cluster.sim.all_of([s, r]))
-    return mean(d - t0 for d, t0 in zip(deliveries, starts))
+    spec = unicast_point(cost=cost, size=size, iterations=iterations, seed=seed)
+    return Harness(spec).run().values[size]
 
 
 def measure_multisend(
@@ -97,43 +67,11 @@ def measure_multisend(
     ``scheme``: a registry key (``"nic_multisend"``, ``"host_based"``)
     or the legacy spelling ``"nb"`` / ``"hb"``.
     """
-    n = n_dest + 1
-    cluster = _cluster(n, cost, seed)
-    tree = build_tree(0, range(1, n), shape="flat")
-    durations: list[float] = []
-    total = warmup + iterations
-
-    bound = create_scheme(
-        resolve_scheme(scheme, context="multisend"), cluster, tree
+    spec = multisend_point(
+        n_dest, size, scheme,
+        iterations=iterations, warmup=warmup, cost=cost, seed=seed,
     )
-    bound.install()
-
-    def root() -> Generator:
-        for it in range(total):
-            start = cluster.now
-            yield from bound.send(size)
-            if it >= warmup:
-                durations.append(cluster.now - start)
-
-    def receiver(i: int) -> Generator:
-        port = cluster.port(i)
-        for _ in range(total):
-            yield from port.receive()
-            yield from port.provide_receive_buffer()
-
-    procs = [cluster.spawn(root())]
-    procs += [cluster.spawn(receiver(i)) for i in range(1, n)]
-    cluster.run(until=cluster.sim.all_of(procs))
-    return mean(durations)
-
-
-@dataclass
-class MulticastMeasurement:
-    """Per-size multicast timing."""
-
-    latency: float  #: the paper's metric (max leaf delivery + leaf ack)
-    per_dest_delivery: dict[int, float]  #: mean delivery per destination
-    ack_trip: float  #: measured 0-byte unicast added as the leaf ack
+    return Harness(spec).run().values[size]
 
 
 def measure_gm_multicast(
@@ -153,62 +91,12 @@ def measure_gm_multicast(
     The spanning tree defaults to the scheme's registered shape
     (optimal for NIC-based, binomial for the host-driven baselines).
     """
-    cost = cost or GMCostModel()
-    cluster = _cluster(n_nodes, cost, seed)
-    dests = list(range(1, n_nodes))
-    total = warmup + iterations
-    sums: dict[int, float] = {d: 0.0 for d in dests}
-    iteration_start = [0.0]
-    round_done: list[Any] = [None]
-
-    def begin_round() -> None:
-        remaining = set(dests)
-        ev = cluster.sim.event()
-        round_done[0] = (remaining, ev)
-        iteration_start[0] = cluster.now
-
-    def mark_delivered(dest: int, it: int) -> None:
-        if it >= warmup:
-            sums[dest] += cluster.now - iteration_start[0]
-        remaining, ev = round_done[0]
-        remaining.discard(dest)
-        if not remaining:
-            ev.succeed(None)
-
-    spec = get_scheme(resolve_scheme(scheme, context="multicast"))
-    shape = tree_shape or spec.default_tree
-    if spec.tree_uses_cost:
-        tree = build_tree(0, dests, shape=shape, cost=cost, size=size)
-    else:
-        tree = build_tree(0, dests, shape=shape)
-    bound = spec.cls(spec, cluster, tree)
-    bound.install()
-
-    def root() -> Generator:
-        for _ in range(total):
-            begin_round()
-            yield from bound.post(size)
-            yield round_done[0][1]
-
-    def member(i: int) -> Generator:
-        port = cluster.port(i)
-        for it in range(total):
-            yield from port.receive()
-            mark_delivered(i, it)
-            yield from port.provide_receive_buffer()
-            yield from bound.relay(i, size)
-
-    procs = [cluster.spawn(root())]
-    procs += [cluster.spawn(member(i)) for i in dests]
-    cluster.run(until=cluster.sim.all_of(procs))
-
-    per_dest = {d: sums[d] / iterations for d in dests}
-    ack_trip = measure_unicast(cost, size=0)
-    return MulticastMeasurement(
-        latency=max(per_dest.values()) + ack_trip,
-        per_dest_delivery=per_dest,
-        ack_trip=ack_trip,
+    spec = multicast_point(
+        n_nodes, size, scheme,
+        iterations=iterations, warmup=warmup, cost=cost, seed=seed,
+        tree_shape=tree_shape,
     )
+    return Harness(spec).run().values[size]
 
 
 def measure_mpi_bcast(
@@ -227,24 +115,8 @@ def measure_mpi_bcast(
     in the GM-level methodology).  Ranks are pre-synchronized with a
     barrier per iteration, mirroring the paper's loop.
     """
-    cost = cost or GMCostModel()
-    cluster = _cluster(n_ranks, cost, seed)
-    comm = Communicator(cluster, nic_bcast=nic)
-    root_enter: dict[int, float] = {}
-    last_exit: dict[int, float] = {}
-    total = warmup + iterations
-
-    def program(ctx) -> Generator:
-        for it in range(total):
-            yield from ctx.barrier()
-            if ctx.rank == 0:
-                root_enter[it] = ctx.sim.now
-            yield from ctx.bcast(root=0, size=size)
-            last_exit[it] = max(last_exit.get(it, 0.0), ctx.sim.now)
-
-    comm.run(program)
-    durations = [
-        last_exit[it] - root_enter[it] for it in range(warmup, total)
-    ]
-    ack_trip = measure_unicast(cost, size=0)
-    return mean(durations) + ack_trip
+    spec = mpi_bcast_point(
+        n_ranks, size, nic,
+        iterations=iterations, warmup=warmup, cost=cost, seed=seed,
+    )
+    return Harness(spec).run().values[size]

@@ -10,8 +10,10 @@ machinery must recover.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Iterable
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
+from repro.errors import ConfigError
 from repro.net.packet import Packet, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -19,12 +21,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "LossModel",
+    "LossSpec",
     "NoLoss",
     "BernoulliLoss",
     "BitErrorLoss",
     "ScriptedLoss",
     "CompositeLoss",
+    "LOSS_KINDS",
 ]
+
+#: Loss kinds a declarative :class:`LossSpec` can name.  ``ScriptedLoss``
+#: and ``CompositeLoss`` carry arbitrary callables/sub-models and are
+#: deliberately not serializable — tests construct them directly.
+LOSS_KINDS = ("none", "bernoulli", "bit_error")
 
 
 class LossModel:
@@ -149,3 +158,79 @@ class CompositeLoss(LossModel):
     def should_drop(self, packet: Packet, now: float) -> bool:
         # Evaluate all (no short-circuit) so RNG streams stay aligned.
         return any([m.should_drop(packet, now) for m in self.models])
+
+
+@dataclass(frozen=True)
+class LossSpec:
+    """Declarative, JSON-serializable selection of a :class:`LossModel`.
+
+    This is the form scenario specs and :class:`~repro.config.ClusterConfig`
+    carry (a live model holds an RNG and drop counters, so it cannot be
+    frozen into a config); :meth:`build` instantiates a fresh model per
+    cluster.  ``packet_types`` restricts a Bernoulli loss to the named
+    :class:`~repro.net.packet.PacketType` members (e.g. ``["MCAST_DATA"]``).
+    """
+
+    kind: str = "none"
+    rate: float = 0.0  #: per-packet drop probability (``bernoulli``)
+    ber: float = 0.0  #: bit error rate (``bit_error``)
+    packet_types: tuple[str, ...] | None = None
+    stream: str = "loss"
+
+    def __post_init__(self) -> None:
+        if self.kind not in LOSS_KINDS:
+            raise ConfigError(
+                f"unknown loss kind {self.kind!r}; pick one of {LOSS_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"loss rate must be in [0, 1], got {self.rate}")
+        if not 0.0 <= self.ber < 1.0:
+            raise ConfigError(f"bit error rate must be in [0, 1), got {self.ber}")
+        if self.packet_types is not None:
+            object.__setattr__(
+                self, "packet_types", tuple(self.packet_types)
+            )
+            for name in self.packet_types:
+                if name not in PacketType.__members__:
+                    raise ConfigError(
+                        f"unknown packet type {name!r} in loss spec "
+                        f"(known: {', '.join(PacketType.__members__)})"
+                    )
+
+    def build(self) -> LossModel | None:
+        """A fresh loss model (``None`` for the perfect network)."""
+        if self.kind == "none":
+            return None
+        if self.kind == "bernoulli":
+            kinds = (
+                [PacketType[name] for name in self.packet_types]
+                if self.packet_types is not None
+                else None
+            )
+            return BernoulliLoss(self.rate, kinds=kinds, stream=self.stream)
+        return BitErrorLoss(self.ber, stream=self.stream)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.kind == "bernoulli":
+            out["rate"] = self.rate
+            if self.packet_types is not None:
+                out["packet_types"] = list(self.packet_types)
+        elif self.kind == "bit_error":
+            out["ber"] = self.ber
+        if self.stream != "loss":
+            out["stream"] = self.stream
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LossSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(f"loss spec must be an object, got {data!r}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ConfigError(
+                f"unknown loss spec keys: {', '.join(sorted(unknown))}"
+            )
+        if "packet_types" in data and data["packet_types"] is not None:
+            data = dict(data, packet_types=tuple(data["packet_types"]))
+        return cls(**data)

@@ -1,0 +1,65 @@
+"""Declarative, serializable experiment scenarios.
+
+One :class:`~repro.scenario.spec.ScenarioSpec` names everything a
+measurement needs — the cluster (size, topology, cost model, loss), the
+workload (scheme, tree shape, group, skew), and the measurement policy
+(sizes, iterations, warmup) — as a frozen, JSON-round-trippable value.
+:class:`~repro.scenario.harness.Harness` executes a spec (cluster
+lifecycle, scheme binding, the shared root/member/receiver program
+templates, round-barrier delivery tracking);
+:class:`~repro.scenario.grid.ScenarioGrid` assembles specs into sweeps
+whose cells ship to pool workers as serialized specs.
+
+Layering: ``repro.scenario`` sits above the protocol engines and below
+``repro.experiments`` — the figure harnesses *declare* grids of specs
+here; nothing in this package may import ``repro.experiments`` (or
+``repro.obs``: a metrics registry attaches through the duck-typed
+``sim.metrics`` slot).  ``tools/check_layering.py`` enforces both edges.
+"""
+
+from repro.scenario.grid import GridCell, ScenarioGrid
+from repro.scenario.harness import (
+    Harness,
+    MulticastMeasurement,
+    ScenarioResult,
+    measured_ack_trip,
+    run_cell,
+    run_spec,
+)
+from repro.scenario.spec import (
+    MPI_SIZES,
+    PAPER_SIZES,
+    QUICK_MAX_SKEWS,
+    QUICK_SIZES,
+    MeasurementSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    mpi_bcast_point,
+    multicast_point,
+    multisend_point,
+    skew_point,
+    unicast_point,
+)
+
+__all__ = [
+    "GridCell",
+    "Harness",
+    "MPI_SIZES",
+    "MeasurementSpec",
+    "MulticastMeasurement",
+    "PAPER_SIZES",
+    "QUICK_MAX_SKEWS",
+    "QUICK_SIZES",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "measured_ack_trip",
+    "mpi_bcast_point",
+    "multicast_point",
+    "multisend_point",
+    "run_cell",
+    "run_spec",
+    "skew_point",
+    "unicast_point",
+]

@@ -1,0 +1,72 @@
+"""Sweep grids: keyed collections of scenario specs.
+
+A figure sweep is a grid of independent scenario points.  The figure
+module *declares* the grid — one :class:`ScenarioSpec` per cell, keyed
+by its coordinates — and hands it to
+:func:`repro.experiments.parallel.run_grid`, which ships each cell's
+serialized spec to a pool worker and returns ``{key: value}`` in
+deterministic declaration order.  The grid itself knows nothing about
+executors (this package must not import ``repro.experiments``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["GridCell", "ScenarioGrid"]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One keyed scenario point of a sweep."""
+
+    key: Hashable
+    spec: ScenarioSpec
+    label: str = ""
+
+
+class ScenarioGrid:
+    """An ordered, keyed set of scenario points for one sweep."""
+
+    def __init__(self, figure: str):
+        self.figure = figure
+        self.cells: list[GridCell] = []
+        self._keys: set[Hashable] = set()
+
+    def add(
+        self, key: Hashable, spec: ScenarioSpec, label: str = ""
+    ) -> "ScenarioGrid":
+        """Append one cell (keys must be unique; returns self to chain)."""
+        if key in self._keys:
+            raise ValueError(f"duplicate grid key {key!r} in {self.figure}")
+        self._keys.add(key)
+        if not label:
+            coords = (
+                ",".join(str(part) for part in key)
+                if isinstance(key, tuple)
+                else str(key)
+            )
+            label = f"{self.figure}[{coords}]"
+        self.cells.append(GridCell(key=key, spec=spec, label=label))
+        return self
+
+    def keys(self) -> list[Hashable]:
+        return [cell.key for cell in self.cells]
+
+    def __iter__(self) -> Iterator[GridCell]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def to_json_cells(self) -> list[dict[str, Any]]:
+        """Serialized form of every cell (diagnostics / spec archiving)."""
+        return [
+            {"key": list(c.key) if isinstance(c.key, tuple) else c.key,
+             "label": c.label,
+             "spec": c.spec.to_dict()}
+            for c in self.cells
+        ]

@@ -1,0 +1,422 @@
+"""Scenario specifications: frozen, JSON-serializable experiment points.
+
+A :class:`ScenarioSpec` is the declarative form of one measurement the
+paper's evaluation grid contains — and of any workload beyond it
+(different schemes, tree shapes, group subsets, loss models, skew).  It
+bundles three parts:
+
+* ``cluster`` — a :class:`~repro.config.ClusterConfig`, including the
+  declarative loss spec (so Fig. 7-style loss sweeps serialize);
+* ``workload`` — what the nodes run: a scheme key from the multicast
+  registry (or the MPI-level NIC/host choice), tree shape, group
+  membership, process skew;
+* ``measurement`` — how it is timed: message sizes, iterations, warmup.
+
+Everything round-trips through JSON (``to_json``/``from_json``), which
+is what lets sweep cells carry their spec into pool workers and lets
+``python -m repro.experiments --scenario spec.json`` run user-written
+scenarios without a figure module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.gm.params import GMCostModel
+from repro.mcast.schemes import resolve_scheme
+from repro.trees import TREE_SHAPES
+
+__all__ = [
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "MeasurementSpec",
+    "WORKLOAD_KINDS",
+    "METRIC_BY_KIND",
+    "PAPER_SIZES",
+    "MPI_SIZES",
+    "QUICK_SIZES",
+    "QUICK_MAX_SKEWS",
+    "unicast_point",
+    "multisend_point",
+    "multicast_point",
+    "mpi_bcast_point",
+    "skew_point",
+]
+
+#: Message sizes swept in the paper's GM-level figures (lists, as the
+#: figure modules slice and concatenate them).
+PAPER_SIZES = [1, 4, 16, 64, 256, 512, 1024, 2048, 4096, 8192, 16384]
+#: MPI-level sweep ends at the largest eager message.
+MPI_SIZES = [1, 4, 16, 64, 256, 512, 1024, 2048, 4096, 8192, 16287]
+
+#: The canonical quick-mode size lists (one per sweep family; formerly
+#: scattered across fig3-fig7).  Quick mode trades sweep resolution for
+#: wall-clock — endpoints and the regime transitions stay, interior
+#: points go; see EXPERIMENTS.md ("Quick vs full sweeps").
+QUICK_SIZES: dict[str, list[int]] = {
+    "multisend": [1, 64, 512, 4096, 16384],  # fig3
+    "multicast": [1, 512, 4096, 16384],  # fig5
+    "mpi_bcast": [4, 512, 8192, 16287],  # fig4
+}
+#: Quick-mode max-skew sweep (fig6); full mode uses fig6.MAX_SKEWS.
+QUICK_MAX_SKEWS = (0.0, 800.0, 3200.0)
+
+WORKLOAD_KINDS = (
+    "unicast", "multisend", "multicast", "mpi_bcast", "mpi_skew",
+)
+
+#: The metric each workload kind reports (the paper's methodology).
+METRIC_BY_KIND = {
+    "unicast": "one_way_latency_us",
+    "multisend": "last_ack_latency_us",
+    "multicast": "max_leaf_delivery_plus_ack_us",
+    "mpi_bcast": "bcast_latency_plus_ack_us",
+    "mpi_skew": "bcast_cpu_time_us",
+}
+
+#: MPI-level scheme spellings -> "use the NIC-based broadcast".
+_MPI_SCHEMES = {
+    "nic": True, "nb": True, "nic_based": True,
+    "host": False, "hb": False, "host_based": False,
+}
+
+#: resolve_scheme context per workload kind (the legacy nb/hb dialects).
+_SCHEME_CONTEXT = {"multisend": "multisend", "multicast": "multicast"}
+
+
+def _unknown_keys(data: dict[str, Any], cls: type, what: str) -> None:
+    if not isinstance(data, dict):
+        raise ConfigError(f"{what} must be an object, got {data!r}")
+    unknown = set(data) - {f.name for f in fields(cls)}
+    if unknown:
+        raise ConfigError(
+            f"unknown {what} keys: {', '.join(sorted(unknown))}"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the nodes run.
+
+    ``scheme`` is a multicast-registry key (canonical or the legacy
+    ``nb``/``hb`` spellings) for GM-level kinds, or ``nic``/``host`` for
+    the MPI-level kinds.  ``group`` restricts the destination set (default:
+    every non-root node).  ``max_skew`` is the ``mpi_skew`` draw range
+    (uniform in [-max/2, +max/2], the paper's §6.3 loop).
+    """
+
+    kind: str
+    scheme: str = "nic_based"
+    tree_shape: str | None = None
+    group: tuple[int, ...] | None = None
+    root: int = 0
+    max_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigError(
+                f"unknown workload kind {self.kind!r}; "
+                f"pick one of {WORKLOAD_KINDS}"
+            )
+        if self.kind in _SCHEME_CONTEXT:
+            try:
+                resolve_scheme(self.scheme, context=_SCHEME_CONTEXT[self.kind])
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
+        elif self.kind in ("mpi_bcast", "mpi_skew"):
+            if self.scheme not in _MPI_SCHEMES:
+                raise ConfigError(
+                    f"unknown MPI scheme {self.scheme!r}; pick one of "
+                    f"{', '.join(sorted(_MPI_SCHEMES))}"
+                )
+        if self.tree_shape is not None and self.tree_shape not in TREE_SHAPES:
+            raise ConfigError(
+                f"unknown tree shape {self.tree_shape!r}; "
+                f"pick one of {tuple(TREE_SHAPES)}"
+            )
+        if self.root < 0:
+            raise ConfigError(f"root must be >= 0, got {self.root}")
+        if self.max_skew < 0:
+            raise ConfigError(f"max_skew must be >= 0, got {self.max_skew}")
+        if self.group is not None:
+            object.__setattr__(self, "group", tuple(self.group))
+            if self.root in self.group:
+                raise ConfigError(
+                    f"root {self.root} must not be in the group"
+                )
+            if any(m < 0 for m in self.group):
+                raise ConfigError("group members must be >= 0")
+            if len(set(self.group)) != len(self.group):
+                raise ConfigError("group members must be distinct")
+
+    @property
+    def canonical_scheme(self) -> str:
+        """The registry key (GM kinds) or ``nic``/``host`` (MPI kinds)."""
+        if self.kind in _SCHEME_CONTEXT:
+            return resolve_scheme(
+                self.scheme, context=_SCHEME_CONTEXT[self.kind]
+            )
+        if self.kind in ("mpi_bcast", "mpi_skew"):
+            return "nic" if _MPI_SCHEMES[self.scheme] else "host"
+        return self.scheme
+
+    @property
+    def nic(self) -> bool:
+        """MPI kinds: whether the NIC-based broadcast is selected."""
+        return _MPI_SCHEMES.get(self.scheme, True)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "scheme": self.scheme}
+        if self.tree_shape is not None:
+            out["tree_shape"] = self.tree_shape
+        if self.group is not None:
+            out["group"] = list(self.group)
+        if self.root != 0:
+            out["root"] = self.root
+        if self.max_skew != 0.0:
+            out["max_skew"] = self.max_skew
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkloadSpec":
+        _unknown_keys(data, cls, "workload spec")
+        if "group" in data and data["group"] is not None:
+            data = dict(data, group=tuple(data["group"]))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """How a workload is timed (the paper's loop shape)."""
+
+    sizes: tuple[int, ...] = (0,)
+    iterations: int = 30
+    warmup: int = 5
+    metric: str = ""  #: informational; defaults to the kind's metric
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(self.sizes))
+        if not self.sizes:
+            raise ConfigError("measurement needs at least one message size")
+        if any(not isinstance(s, int) or s < 0 for s in self.sizes):
+            raise ConfigError(f"sizes must be ints >= 0, got {self.sizes}")
+        if self.iterations < 1:
+            raise ConfigError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if self.metric and self.metric not in METRIC_BY_KIND.values():
+            raise ConfigError(
+                f"unknown metric {self.metric!r}; known: "
+                f"{', '.join(sorted(set(METRIC_BY_KIND.values())))}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "sizes": list(self.sizes),
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+        }
+        if self.metric:
+            out["metric"] = self.metric
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MeasurementSpec":
+        _unknown_keys(data, cls, "measurement spec")
+        if "sizes" in data:
+            data = dict(data, sizes=tuple(data["sizes"]))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, serializable experiment scenario."""
+
+    workload: WorkloadSpec
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        n = self.cluster.n_nodes
+        w = self.workload
+        if w.root >= n:
+            raise ConfigError(
+                f"root {w.root} outside the {n}-node cluster"
+            )
+        if w.group is not None and any(m >= n for m in w.group):
+            raise ConfigError(
+                f"group member outside the {n}-node cluster: {w.group}"
+            )
+        if w.kind == "unicast" and n < 2:
+            raise ConfigError("unicast needs at least 2 nodes")
+        if w.kind != "unicast" and n < 2:
+            raise ConfigError(f"{w.kind} needs at least 2 nodes")
+
+    @property
+    def metric(self) -> str:
+        return self.measurement.metric or METRIC_BY_KIND[self.workload.kind]
+
+    def destinations(self) -> list[int]:
+        """The member node ids (explicit group, or all non-root nodes)."""
+        if self.workload.group is not None:
+            return list(self.workload.group)
+        return [
+            i for i in range(self.cluster.n_nodes) if i != self.workload.root
+        ]
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.name:
+            out["name"] = self.name
+        out["cluster"] = self.cluster.to_dict()
+        out["workload"] = self.workload.to_dict()
+        out["measurement"] = self.measurement.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        _unknown_keys(data, cls, "scenario spec")
+        if "workload" not in data:
+            raise ConfigError("scenario spec needs a 'workload' section")
+        kwargs: dict[str, Any] = {
+            "workload": WorkloadSpec.from_dict(data["workload"]),
+        }
+        if "cluster" in data:
+            kwargs["cluster"] = ClusterConfig.from_dict(data["cluster"])
+        if "measurement" in data:
+            kwargs["measurement"] = MeasurementSpec.from_dict(
+                data["measurement"]
+            )
+        if "name" in data:
+            kwargs["name"] = data["name"]
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"scenario spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Point builders: the paper's measurement shapes as one-liners.  These are
+# what the figure grids and the thin measure_* wrappers construct.
+# ---------------------------------------------------------------------------
+
+def _cluster_cfg(n: int, cost: GMCostModel | None, seed: int) -> ClusterConfig:
+    return ClusterConfig(n_nodes=n, cost=cost or GMCostModel(), seed=seed)
+
+
+def unicast_point(
+    cost: GMCostModel | None = None,
+    size: int = 0,
+    iterations: int = 10,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Mean one-way GM latency between two nodes (the ack-trip probe)."""
+    return ScenarioSpec(
+        workload=WorkloadSpec(kind="unicast"),
+        cluster=_cluster_cfg(2, cost, seed),
+        measurement=MeasurementSpec(
+            sizes=(size,), iterations=iterations, warmup=0
+        ),
+    )
+
+
+def multisend_point(
+    n_dest: int,
+    size: int,
+    scheme: str,
+    iterations: int = 30,
+    warmup: int = 5,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Fig. 3 shape: one root multisending to *n_dest* flat destinations."""
+    return ScenarioSpec(
+        workload=WorkloadSpec(kind="multisend", scheme=scheme),
+        cluster=_cluster_cfg(n_dest + 1, cost, seed),
+        measurement=MeasurementSpec(
+            sizes=(size,), iterations=iterations, warmup=warmup
+        ),
+    )
+
+
+def multicast_point(
+    n_nodes: int,
+    size: int,
+    scheme: str,
+    iterations: int = 30,
+    warmup: int = 5,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+    tree_shape: str | None = None,
+) -> ScenarioSpec:
+    """Fig. 5 shape: GM-level multicast over the scheme's spanning tree."""
+    return ScenarioSpec(
+        workload=WorkloadSpec(
+            kind="multicast", scheme=scheme, tree_shape=tree_shape
+        ),
+        cluster=_cluster_cfg(n_nodes, cost, seed),
+        measurement=MeasurementSpec(
+            sizes=(size,), iterations=iterations, warmup=warmup
+        ),
+    )
+
+
+def mpi_bcast_point(
+    n_ranks: int,
+    size: int,
+    nic: bool,
+    iterations: int = 30,
+    warmup: int = 5,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Fig. 4 shape: MPI_Bcast latency, pre-synchronized per iteration."""
+    return ScenarioSpec(
+        workload=WorkloadSpec(
+            kind="mpi_bcast", scheme="nic" if nic else "host"
+        ),
+        cluster=_cluster_cfg(n_ranks, cost, seed),
+        measurement=MeasurementSpec(
+            sizes=(size,), iterations=iterations, warmup=warmup
+        ),
+    )
+
+
+def skew_point(
+    n: int,
+    nic: bool,
+    max_skew: float,
+    size: int,
+    iterations: int,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+    warmup: int = 3,
+) -> ScenarioSpec:
+    """Fig. 6/7 shape: host CPU time in MPI_Bcast under process skew."""
+    return ScenarioSpec(
+        workload=WorkloadSpec(
+            kind="mpi_skew",
+            scheme="nic" if nic else "host",
+            max_skew=max_skew,
+        ),
+        cluster=_cluster_cfg(n, cost, seed),
+        measurement=MeasurementSpec(
+            sizes=(size,), iterations=iterations, warmup=warmup
+        ),
+    )

@@ -10,7 +10,7 @@ the message size through the cost model.
 
 from repro.trees.base import SpanningTree
 from repro.trees.binomial import binomial_tree
-from repro.trees.builder import build_tree, check_deadlock_ordering
+from repro.trees.builder import TREE_SHAPES, build_tree, check_deadlock_ordering
 from repro.trees.metrics import TreeStats, tree_stats
 from repro.trees.postal import (
     PostalParams,
@@ -23,6 +23,7 @@ from repro.trees.shapes import chain_tree, flat_tree, kary_tree
 __all__ = [
     "PostalParams",
     "SpanningTree",
+    "TREE_SHAPES",
     "TreeStats",
     "binomial_tree",
     "build_tree",

@@ -21,7 +21,10 @@ from repro.trees.shapes import chain_tree, flat_tree
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gm.params import GMCostModel
 
-__all__ = ["build_tree", "check_deadlock_ordering"]
+__all__ = ["build_tree", "check_deadlock_ordering", "TREE_SHAPES"]
+
+#: Shapes :func:`build_tree` knows how to construct.
+TREE_SHAPES = ("optimal", "binomial", "flat", "chain")
 
 
 def check_deadlock_ordering(tree: SpanningTree) -> None:

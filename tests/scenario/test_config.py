@@ -1,0 +1,69 @@
+"""ClusterConfig serialization, extras hygiene, and config-driven loss."""
+
+import warnings
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import (
+    KNOWN_EXTRAS,
+    ClusterConfig,
+    register_extra_key,
+)
+from repro.errors import ConfigError
+from repro.gm.params import GMCostModel
+from repro.net.fault import BernoulliLoss, LossSpec, ScriptedLoss
+
+
+def test_unknown_extras_key_warns():
+    with pytest.warns(UserWarning, match="typo_knob"):
+        ClusterConfig(n_nodes=4, extras={"typo_knob": 1})
+
+
+def test_registered_extras_key_is_silent():
+    key = register_extra_key("test_registered_knob")
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ClusterConfig(n_nodes=4, extras={key: 1})
+    finally:
+        KNOWN_EXTRAS.discard(key)
+
+
+def test_live_loss_model_rejected_in_config():
+    with pytest.raises(ConfigError, match="declarative LossSpec"):
+        ClusterConfig(n_nodes=4, loss=BernoulliLoss(0.1))
+
+
+def test_cluster_builds_loss_from_config():
+    cfg = ClusterConfig(n_nodes=4, loss=LossSpec(kind="bernoulli", rate=0.5))
+    cluster = Cluster(cfg)
+    assert isinstance(cluster.network.loss, BernoulliLoss)
+    # A fresh model per cluster: two clusters never share drop counters.
+    assert Cluster(cfg).network.loss is not cluster.network.loss
+
+
+def test_explicit_loss_argument_wins_over_config():
+    cfg = ClusterConfig(n_nodes=4, loss=LossSpec(kind="bernoulli", rate=0.5))
+    scripted = ScriptedLoss(lambda pkt: False)
+    cluster = Cluster(cfg, loss=scripted)
+    assert cluster.network.loss is scripted
+
+
+def test_cluster_config_round_trips_through_dict():
+    cfg = ClusterConfig(
+        n_nodes=8,
+        seed=3,
+        topology="line",
+        cost=GMCostModel(mtu=2048),
+        loss=LossSpec(kind="bit_error", ber=1e-7),
+    )
+    data = cfg.to_dict()
+    assert data["cost"] == {"mtu": 2048}
+    assert data["loss"] == {"kind": "bit_error", "ber": 1e-7}
+    assert ClusterConfig.from_dict(data) == cfg
+
+
+def test_cluster_config_unknown_key_rejected():
+    with pytest.raises(ConfigError, match="unknown cluster config"):
+        ClusterConfig.from_dict({"n_nodes": 4, "toplogy": "clos"})

@@ -63,6 +63,49 @@ def test_obs_back_edge_rule(tmp_path):
     assert "repro.obs" in violations[0]
 
 
+def test_scenario_back_edge_rule(tmp_path):
+    """Protocol engines must not import repro.scenario; the experiment
+    harness (which feeds specs to pool workers) may."""
+    mod = _load_checker()
+    src = tmp_path / "src" / "repro"
+    (src / "mcast").mkdir(parents=True)
+    (src / "experiments").mkdir()
+    (src / "mcast" / "bad.py").write_text(
+        "from repro.scenario import ScenarioSpec\n"
+    )
+    (src / "experiments" / "ok.py").write_text(
+        "from repro.scenario.harness import run_cell\n"
+    )
+    mod.SRC = src
+    mod.REPO = tmp_path
+
+    violations = mod.check_scenario_back_edges()
+    assert len(violations) == 1
+    assert "mcast/bad.py" in violations[0].replace("\\", "/")
+    assert "repro.scenario" in violations[0]
+
+
+def test_scenario_must_not_import_experiments_or_obs(tmp_path):
+    """The scenario allowlist excludes the layers above it."""
+    mod = _load_checker()
+    src = tmp_path / "src" / "repro"
+    (src / "scenario").mkdir(parents=True)
+    (src / "scenario" / "bad.py").write_text(
+        "from repro.experiments.report import render_table\n"
+        "import repro.obs\n"
+        "from repro.cluster import Cluster\n"
+    )
+    mod.SRC = src
+    mod.REPO = tmp_path
+
+    violations = mod.check_package(
+        "scenario", mod.ALLOWED["scenario"]
+    )
+    assert len(violations) == 2
+    assert any("repro.experiments" in v for v in violations)
+    assert any("repro.obs" in v for v in violations)
+
+
 def test_obs_type_checking_import_allowed(tmp_path):
     # Annotations may name obs types without a runtime back-edge.
     mod = _load_checker()

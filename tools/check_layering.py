@@ -13,7 +13,12 @@ Three rules are load-bearing enough to gate CI on:
   every layer, but nothing outside ``repro.obs``, ``repro.experiments``,
   and ``repro.perf`` may import it back (instrumented layers reach the
   registry only through the duck-typed ``sim.metrics`` slot — no
-  instrumentation back-edges).
+  instrumentation back-edges);
+* ``repro.scenario`` sits between the protocol engines and the
+  experiment harness: it may import anything below it but never
+  ``repro.experiments`` or ``repro.obs``, and only ``repro.scenario``,
+  ``repro.experiments``, and ``repro.perf`` may import it back (the
+  engines stay spec-agnostic).
 
 Imports guarded by ``if TYPE_CHECKING:`` are ignored — annotations may
 name types from anywhere without creating a runtime dependency.
@@ -42,29 +47,62 @@ ALLOWED = {
         "repro.perf.counters",
         "repro.perf",
     ),
+    "scenario": (
+        "repro.scenario",
+        "repro.cluster",
+        "repro.config",
+        "repro.errors",
+        "repro.gm",
+        "repro.host",
+        "repro.mcast",
+        "repro.mpi",
+        "repro.net",
+        "repro.nic",
+        "repro.proto",
+        "repro.sim",
+        "repro.trees",
+        "repro.perf",
+    ),
 }
 
 #: Packages (and top-level modules) allowed to import ``repro.obs``.
 OBS_IMPORTERS = ("obs", "experiments", "perf")
+#: Packages (and top-level modules) allowed to import ``repro.scenario``.
+SCENARIO_IMPORTERS = ("scenario", "experiments", "perf")
 
 
-def check_obs_back_edges() -> list[str]:
-    """No module outside :data:`OBS_IMPORTERS` may import ``repro.obs``."""
+def check_back_edges(
+    target: str, importers: tuple[str, ...], reason: str
+) -> list[str]:
+    """No module outside ``importers`` may import ``repro.<target>``."""
     violations = []
     for path in sorted(SRC.rglob("*.py")):
         rel_parts = path.relative_to(SRC).parts
         owner = rel_parts[0] if len(rel_parts) > 1 else path.stem
-        if owner in OBS_IMPORTERS:
+        if owner in importers:
             continue
         tree = ast.parse(path.read_text(), filename=str(path))
         for lineno, module in runtime_imports(tree):
-            if module == "repro.obs" or module.startswith("repro.obs."):
+            prefix = f"repro.{target}"
+            if module == prefix or module.startswith(prefix + "."):
                 rel = path.relative_to(REPO)
                 violations.append(
-                    f"{rel}:{lineno}: only {', '.join(OBS_IMPORTERS)} may "
-                    f"import repro.obs (instrumentation back-edge)"
+                    f"{rel}:{lineno}: only {', '.join(importers)} may "
+                    f"import {prefix} ({reason})"
                 )
     return violations
+
+
+def check_obs_back_edges() -> list[str]:
+    return check_back_edges(
+        "obs", OBS_IMPORTERS, "instrumentation back-edge"
+    )
+
+
+def check_scenario_back_edges() -> list[str]:
+    return check_back_edges(
+        "scenario", SCENARIO_IMPORTERS, "engines stay spec-agnostic"
+    )
 
 
 def _is_type_checking_guard(node: ast.If) -> bool:
@@ -135,6 +173,7 @@ def main() -> int:
     for package, allowed in ALLOWED.items():
         violations.extend(check_package(package, allowed))
     violations.extend(check_obs_back_edges())
+    violations.extend(check_scenario_back_edges())
     if violations:
         print("import layering violations:", file=sys.stderr)
         for v in violations:
@@ -142,7 +181,7 @@ def main() -> int:
         return 1
     print(
         f"layering clean: {', '.join(ALLOWED)} respect their bounds; "
-        "no repro.obs back-edges"
+        "no repro.obs or repro.scenario back-edges"
     )
     return 0
 
