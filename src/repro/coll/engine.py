@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from repro.errors import GroupError, ReproError
-from repro.net.packet import Packet, PacketHeader, PacketType
+from repro.net.packet import Packet, PacketType, make_packet
 from repro.nic.descriptor import PacketDescriptor
 from repro.nic.lanai import HostCommand, TX_PRIO_ACK
 from repro.sim.events import SimEvent
@@ -330,15 +330,10 @@ class CollectiveEngine:
                       info: dict) -> Generator:
         assert dst is not None
         yield from self.nic.processing(self.cost.nic_ack_generation)
-        pkt = Packet(
-            header=PacketHeader(
-                ptype=PacketType.CONTROL,
-                src=self.nic.id,
-                dst=dst,
-                origin=self.nic.id,
-                group=group_id,
-                payload=8,
-                info=dict(info),
-            )
+        pkt = make_packet(
+            PacketType.CONTROL, self.nic.id, dst, self.nic.id,
+            group=group_id,
+            payload=8,
+            info=dict(info),
         )
         self.nic.queue_tx(PacketDescriptor(pkt), TX_PRIO_ACK)

@@ -77,6 +77,7 @@ def run_scenario_file(path: str, metrics: bool = False) -> str:
     With ``metrics``, a registry observes the run and a
     ``<name>.metrics.json`` sidecar lands next to the invocation.
     """
+    import repro.workload  # noqa: F401  (registers the serving runner)
     from repro.scenario import Harness, ScenarioSpec
 
     with open(path, encoding="utf-8") as fh:

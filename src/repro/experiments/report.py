@@ -130,6 +130,32 @@ def render_scenario_result(result: Any) -> str:
             ]
             for size, r in result.values.items()
         ]
+    elif hasattr(sample, "msgs_delivered"):  # ServingStats
+        stats = sample
+        head[-1:] = [
+            f"traffic: {stats.n_groups} groups, "
+            f"{stats.duration_us:g}us ({stats.warmup_us:g}us warmup), "
+            f"posted={stats.msgs_posted} delivered={stats.msgs_delivered} "
+            f"churn={stats.churn_events}",
+            f"rates: {stats.delivered_msgs_per_sec:.0f} delivered msgs/s, "
+            f"p50={stats.quantile(0.50):.1f}us "
+            f"p99={stats.quantile(0.99):.1f}us",
+            "",
+        ]
+        headers = ["group", "scheme", "posted", "delivered",
+                   "churn epochs", "mean us", "max us"]
+        rows = [
+            [
+                str(gid),
+                g.scheme,
+                str(g.posted),
+                str(g.delivered),
+                str(g.churn_epochs),
+                f"{g.mean_delivery_us:.1f}",
+                f"{g.max_delivery_us:.1f}",
+            ]
+            for gid, g in sorted(stats.per_group.items())
+        ]
     else:
         headers = ["size", result.metric]
         rows = [

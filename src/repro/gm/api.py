@@ -10,6 +10,8 @@ port.send(dst, nbytes)``.
 
 from __future__ import annotations
 
+from collections import deque
+
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator
 
@@ -75,7 +77,9 @@ class GMPort:
         self._free_send_tokens: list[SendToken] = [
             SendToken(port_num) for _ in range(cost.send_tokens_per_port)
         ]
-        self._recv_tokens: list[ReceiveToken] = []
+        # deque: tokens are claimed FIFO once per received message and
+        # 64 are preposted per port, so list.pop(0) shifting adds up.
+        self._recv_tokens: deque[ReceiveToken] = deque()
         self.event_queue: Store = Store(
             self.sim, name=f"port{engine.nic.id}.{port_num}.events"
         )
@@ -106,7 +110,7 @@ class GMPort:
         """NIC side: claim a preposted receive buffer, if any."""
         if not self._recv_tokens:
             return None
-        return self._recv_tokens.pop(0)
+        return self._recv_tokens.popleft()
 
     def return_recv_token(self, token: ReceiveToken) -> None:
         """NIC side: a transformed token's duties are over — it is consumed

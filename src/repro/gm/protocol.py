@@ -30,6 +30,7 @@ from repro.net.packet import (
     Packet,
     PacketHeader,
     PacketType,
+    make_packet,
     split_message,
 )
 from repro.nic.descriptor import PacketDescriptor
@@ -257,22 +258,19 @@ class GMEngine:
         if m is not None:
             m.observe("nic.send_service_us", self.sim.now - staged_at)
         conn.timer.arm(record)
-        pkt = Packet(
-            header=PacketHeader(
-                ptype=record.ptype,
-                src=self.nic.id,
-                dst=record.dst,
-                origin=self.nic.id,
-                port=record.dst_port,
-                from_port=record.local_port,
-                seq=record.seq,
-                group=record.group,
-                msg_id=record.token.msg_id,
-                chunk=record.chunk,
-                nchunks=record.nchunks,
-                payload=record.payload,
-                msg_size=record.msg_size,
-            )
+        # make_packet: one header per transmitted packet (fresh or
+        # retransmit) makes this a serving-rate hot site.
+        pkt = make_packet(
+            record.ptype, self.nic.id, record.dst, self.nic.id,
+            port=record.dst_port,
+            from_port=record.local_port,
+            seq=record.seq,
+            group=record.group,
+            msg_id=record.token.msg_id,
+            chunk=record.chunk,
+            nchunks=record.nchunks,
+            payload=record.payload,
+            msg_size=record.msg_size,
         )
         if record.chunk == 0 and record.token.context.get("info") is not None:
             pkt.header.info["app"] = record.token.context["info"]
@@ -307,7 +305,13 @@ class GMEngine:
 
     # -- ACK handling ------------------------------------------------------------
     def _handle_ack(self, pkt: Packet, _buf: Any) -> Generator:
-        yield from self.nic.processing(self.cost.nic_ack_processing)
+        # nic.processing() inlined on the per-ack path (profile-hot).
+        cpu = self.nic.cpu
+        ev = cpu.use_fast(self.cost.nic_ack_processing)
+        if ev is None:
+            yield from cpu.use(self.cost.nic_ack_processing)
+        else:
+            yield ev
         h = pkt.header
         conn = self._send_conns.get((h.port, h.src, h.from_port))
         if conn is None:
@@ -319,6 +323,7 @@ class GMEngine:
             token = record.token
             token.unacked_packets -= 1
             self._maybe_complete(token)
+        conn.timer.defuse()
 
     def _maybe_complete(self, token: SendToken) -> None:
         if not token.complete:
@@ -328,15 +333,23 @@ class GMEngine:
             token.region.unpin()
         if port is not None:
             # A cheap event DMA tells the host its send is done.
-            self.sim.record(
-                self.nic.name, "send_complete", msg=token.msg_id, dst=token.dst
-            )
+            if self.sim.trace.enabled:
+                self.sim.record(
+                    self.nic.name, "send_complete",
+                    msg=token.msg_id, dst=token.dst,
+                )
             port.complete_send(token)
 
     # -- receive path ---------------------------------------------------------------
     def _handle_data(self, pkt: Packet, buf: Any) -> Generator:
         arrived_at = self.sim.now
-        yield from self.nic.processing(self.cost.nic_recv_processing)
+        # nic.processing() inlined on the per-packet path (profile-hot).
+        cpu = self.nic.cpu
+        ev = cpu.use_fast(self.cost.nic_recv_processing)
+        if ev is None:
+            yield from cpu.use(self.cost.nic_recv_processing)
+        else:
+            yield ev
         h = pkt.header
         m = self.sim.metrics
         conn = self.recv_conn(h.src, h.from_port, h.port)
@@ -404,7 +417,14 @@ class GMEngine:
 
     def _rdma_to_host(self, conn: Connection, msg: _InflightRecv,
                       pkt: Packet, buf: Any) -> Generator:
-        yield from self.nic.dma_write(pkt.header.payload)
+        # nic.dma_write() inlined on the per-packet path (profile-hot).
+        nic = self.nic
+        duration = nic.cost.dma_write_time(pkt.header.payload)
+        ev = nic.pci.use_fast(duration)
+        if ev is None:
+            yield from nic.pci.use(duration)
+        else:
+            yield ev
         if buf is not None:
             buf.release()
         msg.received += 1

@@ -27,7 +27,7 @@ from repro.mcast.group import (
 )
 from repro.mcast.multisend import Multisend
 from repro.mcast.reliability import McastRecord, McastReliability
-from repro.net.packet import Packet, PacketHeader, PacketType
+from repro.net.packet import Packet, PacketType, make_packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.host.node import Node
@@ -131,22 +131,19 @@ class McastEngine:
     def _build_mcast_packet(
         self, group: GroupState, record: McastRecord, child: int
     ) -> Packet:
-        pkt = Packet(
-            header=PacketHeader(
-                ptype=PacketType.MCAST_DATA,
-                src=self.nic.id,
-                dst=child,
-                origin=group.root,
-                group=group.group_id,
-                port=group.port_num,
-                from_port=group.port_num,
-                seq=record.seq,
-                msg_id=record.msg_id,
-                chunk=record.chunk,
-                nchunks=record.nchunks,
-                payload=record.payload,
-                msg_size=record.msg_size,
-            )
+        # make_packet: one header per (packet, child) transmission makes
+        # this a serving-rate hot site.
+        pkt = make_packet(
+            PacketType.MCAST_DATA, self.nic.id, child, group.root,
+            group=group.group_id,
+            port=group.port_num,
+            from_port=group.port_num,
+            seq=record.seq,
+            msg_id=record.msg_id,
+            chunk=record.chunk,
+            nchunks=record.nchunks,
+            payload=record.payload,
+            msg_size=record.msg_size,
         )
         if record.chunk == 0 and record.app_info:
             pkt.header.info["app"] = record.app_info
@@ -171,10 +168,11 @@ class McastEngine:
 
     def _root_token_complete(self, group: GroupState, token: SendToken) -> None:
         port = self.gm.ports.get(token.port_num)
-        self.sim.record(
-            self.nic.name, "mcast_send_complete", group=group.group_id,
-            msg=token.msg_id,
-        )
+        if self.sim.trace.enabled:
+            self.sim.record(
+                self.nic.name, "mcast_send_complete", group=group.group_id,
+                msg=token.msg_id,
+            )
         if port is not None:
             port.complete_send(token)
 

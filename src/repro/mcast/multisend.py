@@ -144,10 +144,11 @@ class Multisend:
         m = self.sim.metrics
         if m is not None:
             m.inc("mcast.replicas_sent")
-        self.sim.record(
-            self.nic.name, "replica", seq=desc.packet.header.seq, dst=nxt,
-            group=desc.packet.header.group,
-        )
+        if self.sim.trace.enabled:
+            self.sim.record(
+                self.nic.name, "replica", seq=desc.packet.header.seq, dst=nxt,
+                group=desc.packet.header.group,
+            )
         # Each replica emission refreshes the send record's timestamp
         # and timer — the retransmission clock must not start ticking
         # for children whose replica has not left the NIC yet.

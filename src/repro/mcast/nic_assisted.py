@@ -21,7 +21,7 @@ from repro.errors import TokenExhausted
 from repro.gm.api import SendHandle
 from repro.gm.protocol import SendRecord
 from repro.gm.tokens import SendToken
-from repro.net.packet import GM_HEADER_BYTES, Packet, PacketHeader, PacketType, split_message
+from repro.net.packet import GM_HEADER_BYTES, Packet, PacketType, make_packet, split_message
 from repro.nic.descriptor import PacketDescriptor
 from repro.nic.lanai import HostCommand, TX_PRIO_DATA
 
@@ -114,21 +114,16 @@ class NicAssistedEngine:
         self.nic.queue_tx(desc, TX_PRIO_DATA)
 
     def _packet_for(self, record: SendRecord, token: SendToken, chunk_idx: int) -> Packet:
-        pkt = Packet(
-            header=PacketHeader(
-                ptype=PacketType.DATA,
-                src=self.nic.id,
-                dst=record.dst,
-                origin=self.nic.id,
-                port=record.dst_port,
-                from_port=record.local_port,
-                seq=record.seq,
-                msg_id=token.msg_id,
-                chunk=record.chunk,
-                nchunks=record.nchunks,
-                payload=record.payload,
-                msg_size=record.msg_size,
-            )
+        pkt = make_packet(
+            PacketType.DATA, self.nic.id, record.dst, self.nic.id,
+            port=record.dst_port,
+            from_port=record.local_port,
+            seq=record.seq,
+            msg_id=token.msg_id,
+            chunk=record.chunk,
+            nchunks=record.nchunks,
+            payload=record.payload,
+            msg_size=record.msg_size,
         )
         if chunk_idx == 0 and token.context.get("info") is not None:
             pkt.header.info["app"] = token.context["info"]

@@ -109,7 +109,13 @@ class McastReliability:
 
     # -- ACK reception ------------------------------------------------------
     def _handle_mcast_ack(self, pkt: Packet, _buf: Any) -> Generator:
-        yield from self.nic.processing(self.cost.nic_ack_processing)
+        # nic.processing() inlined on the per-ack path (profile-hot).
+        cpu = self.nic.cpu
+        ev = cpu.use_fast(self.cost.nic_ack_processing)
+        if ev is None:
+            yield from cpu.use(self.cost.nic_ack_processing)
+        else:
+            yield ev
         h = pkt.header
         group = self.table.get(h.group)
         if group is None:
@@ -125,6 +131,8 @@ class McastReliability:
             if m is not None:
                 m.observe("proto.ack_latency_us", self.sim.now - record.sent_at)
             self.engine._record_completed(group, record)
+        if group.timer is not None:
+            group.timer.defuse()
 
     def send_group_ack(self, group: "GroupState") -> Generator:
         """Acknowledge the group's current receive seq to the parent."""

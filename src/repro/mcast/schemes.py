@@ -77,15 +77,22 @@ class BoundScheme:
     def install(self) -> None:
         """One-time setup before the first send (zero simulated cost)."""
 
-    def post(self, size: int) -> Generator:
-        """Root coroutine: launch one multicast without waiting for acks."""
+    def post(self, size: int, info: dict | None = None) -> Generator:
+        """Root coroutine: launch one multicast without waiting for acks.
+
+        ``info`` is an optional application payload carried to every
+        receiver's :class:`~repro.gm.api.RecvCompletion` (the serving
+        workload stamps post timestamps through it).
+        """
         raise NotImplementedError
 
-    def send(self, size: int) -> Generator:
+    def send(self, size: int, info: dict | None = None) -> Generator:
         """Root coroutine: one multicast, waiting for send completion."""
         raise NotImplementedError
 
-    def relay(self, node_id: int, size: int) -> Generator:
+    def relay(
+        self, node_id: int, size: int, info: dict | None = None
+    ) -> Generator:
         """Member coroutine: forwarding duty after one received message.
 
         The default is the NIC-forwarding case: nothing to do, and —
@@ -231,15 +238,15 @@ class NicBasedScheme(BoundScheme):
             self.group_id = next_group_id()
             install_group(self.cluster, self.group_id, self.tree, self.port_num)
 
-    def post(self, size: int) -> Generator:
+    def post(self, size: int, info: dict | None = None) -> Generator:
         root = self.tree.root
         handle = yield from self.cluster.node(root).mcast.multicast_send(
-            self.cluster.port(root), self.group_id, size
+            self.cluster.port(root), self.group_id, size, info=info
         )
         return handle
 
-    def send(self, size: int) -> Generator:
-        handle = yield from self.post(size)
+    def send(self, size: int, info: dict | None = None) -> Generator:
+        handle = yield from self.post(size, info=info)
         yield handle.done
 
 
@@ -247,19 +254,21 @@ class HostBasedScheme(BoundScheme):
     """MPICH-GM's broadcast: unicasts along the tree, every hop through
     the intermediate host (see :mod:`repro.mcast.hostbased`)."""
 
-    def post(self, size: int) -> Generator:
-        yield from self.relay(self.tree.root, size)
+    def post(self, size: int, info: dict | None = None) -> Generator:
+        yield from self.relay(self.tree.root, size, info=info)
 
     send = post
 
-    def relay(self, node_id: int, size: int) -> Generator:
+    def relay(
+        self, node_id: int, size: int, info: dict | None = None
+    ) -> Generator:
         kids = self.tree.children_of(node_id)
         if not kids:
             return
         port = self.cluster.port(node_id)
         handles = []
         for child in kids:
-            handle = yield from port.send(child, size)
+            handle = yield from port.send(child, size, info=info)
             handles.append(handle.done)
         yield self.cluster.sim.all_of(handles)
 
@@ -275,19 +284,22 @@ class NicAssistedScheme(BoundScheme):
             if not hasattr(node, "nic_assisted"):
                 node.nic_assisted = NicAssistedEngine(node)
 
-    def post(self, size: int) -> Generator:
-        yield from self.relay(self.tree.root, size)
+    def post(self, size: int, info: dict | None = None) -> Generator:
+        yield from self.relay(self.tree.root, size, info=info)
 
     send = post
 
-    def relay(self, node_id: int, size: int) -> Generator:
+    def relay(
+        self, node_id: int, size: int, info: dict | None = None
+    ) -> Generator:
         from repro.mcast.nic_assisted import nic_assisted_multisend
 
         kids = self.tree.children_of(node_id)
         if not kids:
             return
         handle = yield from nic_assisted_multisend(
-            self.cluster.node(node_id), self.cluster.port(node_id), kids, size
+            self.cluster.node(node_id), self.cluster.port(node_id), kids,
+            size, info=info,
         )
         yield handle.done
 

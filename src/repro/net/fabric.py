@@ -10,18 +10,177 @@ packet is one the receiving NIC's CRC check throws away).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator
+from heapq import heappush as _heappush
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import RoutingError
 from repro.net.fault import LossModel, NoLoss
 from repro.net.packet import Packet
 from repro.net.topology import Topology
+from repro.sim.engine import _Callback
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
-    from repro.sim.events import SimEvent
 
 __all__ = ["Network"]
+
+
+class _Traversal:
+    """One packet's cut-through walk, driven as a callback chain.
+
+    The walk used to be a generator run as a :class:`Process`; at tens of
+    thousands of packets per run the process boot/finish events and the
+    generator resume machinery were a measurable slice of the kernel's
+    serving-rate budget.  The chain keeps the *exact* event schedule of
+    the generator version — the kick-off is an URGENT callback scheduled
+    where the process boot event used to sit, and each hop arrival is a
+    callback cell at precisely the ``(when, priority, seq)`` the hop's
+    ``Timeout`` would have occupied — while paying one bare function call
+    per event instead of a generator resume (and no finish event at all).
+    """
+
+    __slots__ = (
+        "net", "sim", "packet", "links", "ser", "on_injected", "hop",
+        "_blocked_at", "_claim_cb", "_tail_cb", "_deliver_cb",
+        "_injected_cb",
+    )
+
+    def __init__(
+        self,
+        net: "Network",
+        packet: Packet,
+        links: list,
+        on_injected: Callable[[Packet], None] | None,
+    ):
+        self.net = net
+        self.sim = net.sim
+        self.packet = packet
+        self.links = links
+        self.ser = packet.wire_size * net._inv_bandwidth
+        self.on_injected = on_injected
+        self.hop = 0
+        self._blocked_at = 0.0
+        self._claim_cb = self._claim
+        self._tail_cb = self._tail
+        self._deliver_cb = self._deliver
+        self._injected_cb = self._injected
+
+    def _claim(self) -> None:
+        # Uncontended links (the dominant case in every sweep) are
+        # claimed inline — no Request, no grant event; only a busy
+        # channel parks the walk on a claim event.
+        link = self.links[self.hop]
+        if link.claim_fast():
+            self._cross(link)
+        else:
+            self._blocked_at = self.sim._now
+            link.claim_head().callbacks.append(self._granted)
+
+    def _granted(self, _ev) -> None:
+        sim = self.sim
+        m = sim.metrics
+        if m is not None:
+            m.observe("net.queue_wait_us", sim._now - self._blocked_at)
+        self._cross(self.links[self.hop])
+
+    def _injected(self) -> None:
+        self.on_injected(self.packet)
+
+    def _cross(self, link) -> None:
+        sim = self.sim
+        packet = self.packet
+        ser = self.ser
+        ws = packet.wire_size
+        link.bytes_carried += ws
+        link.packets_carried += 1
+        m = sim.metrics
+        if m is not None:
+            m.inc("net.link_bytes", ws)
+        # The channel is occupied for the serialization time (the tail
+        # streams behind the head); propagation pipelines, so release
+        # is scheduled now and the head crosses concurrently.  The
+        # timers below inline ``schedule_callback`` — at several calls
+        # per packet-hop the wrapper frames were a measurable slice of
+        # the serving-rate budget.  Push order (release, injected, hop)
+        # keeps the exact seq order the wrapped calls produced.
+        now = sim._now
+        heap = sim._heap
+        freelist = sim._cb_freelist
+        sseq = sim._seq
+        if freelist:
+            cell = freelist.pop()
+            cell.fn = link._release_cb
+        else:
+            cell = _Callback(link._release_cb)
+        _heappush(heap, (now + ser, 1, next(sseq), cell))
+        if self.hop == 0 and self.on_injected is not None:
+            if freelist:
+                cell = freelist.pop()
+                cell.fn = self._injected_cb
+            else:
+                cell = _Callback(self._injected_cb)
+            _heappush(heap, (now + ser, 1, next(sseq), cell))
+        self.hop += 1
+        fn = self._claim_cb if self.hop < len(self.links) else self._tail_cb
+        when = now + link.latency
+        if when > now:
+            if freelist:
+                cell = freelist.pop()
+                cell.fn = fn
+            else:
+                cell = _Callback(fn)
+            _heappush(heap, (when, 1, next(sseq), cell))
+        else:
+            # Zero-latency hop: same-instant NORMAL order must match
+            # what schedule_callback would have produced (now-queue).
+            sim.schedule_callback(when, fn)
+
+    def _tail(self) -> None:
+        # The destination has the full packet one serialization after the
+        # head arrives.
+        sim = self.sim
+        freelist = sim._cb_freelist
+        if freelist:
+            cell = freelist.pop()
+            cell.fn = self._deliver_cb
+        else:
+            cell = _Callback(self._deliver_cb)
+        _heappush(sim._heap, (sim._now + self.ser, 1, next(sim._seq), cell))
+
+    def _deliver(self) -> None:
+        net = self.net
+        sim = self.sim
+        packet = self.packet
+        m = sim.metrics
+        if net.loss.should_drop(packet, sim._now):
+            net.dropped += 1
+            if m is not None:
+                m.inc("net.fault_drops")
+            if sim.trace.enabled:
+                sim.record(
+                    "network",
+                    "pkt_drop",
+                    uid=packet.uid,
+                    src=packet.src,
+                    dst=packet.dst,
+                    seq=packet.header.seq,
+                    ptype=packet.header.ptype.value,
+                )
+            return
+        net.delivered += 1
+        if m is not None:
+            m.inc("net.packets_delivered")
+        if sim.trace.enabled:
+            sim.record(
+                "network",
+                "pkt_deliver",
+                uid=packet.uid,
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.header.seq,
+                ptype=packet.header.ptype.value,
+            )
+        net._sinks[packet.dst](packet)
 
 
 class Network:
@@ -63,84 +222,30 @@ class Network:
         self,
         packet: Packet,
         on_injected: Callable[[Packet], None] | None = None,
-    ) -> "SimEvent":
+    ) -> None:
         """Send *packet* from its header.src to header.dst.
 
         ``on_injected`` fires when the packet's tail has left the source
         NIC (the transmit DMA engine is done) — the moment a GM-2
-        descriptor callback runs.  Returns the traversal process (an event
-        triggering at delivery or drop).
+        descriptor callback runs.  The traversal itself is a callback
+        chain (:class:`_Traversal`) kicked off by an URGENT callback in
+        the heap slot the old traversal process's boot event occupied.
         """
         if packet.dst not in self._sinks:
             raise RoutingError(f"no NIC attached at {packet.dst}")
-        return self.sim.process(
-            self._traverse(packet, on_injected), name=f"wire:{packet.uid}"
-        )
-
-    def _traverse(
-        self,
-        packet: Packet,
-        on_injected: Callable[[Packet], None] | None = None,
-    ) -> Generator[Any, Any, None]:
         key = (packet.src, packet.dst)
         links = self._routes.get(key)
         if links is None:
             links = self._routes[key] = self.topology.route(*key)
-        ser = packet.wire_size * self._inv_bandwidth
-        m = self.sim.metrics
-        for hop, link in enumerate(links):
-            # Uncontended links (the dominant case in every sweep) are
-            # claimed inline — no Request, no grant event; only a busy
-            # channel suspends the traversal on a claim event.
-            if not link.claim_fast():
-                blocked_at = self.sim.now
-                yield link.claim_head()
-                if m is not None:
-                    m.observe("net.queue_wait_us", self.sim.now - blocked_at)
-            link.account(packet)
-            if m is not None:
-                m.inc("net.link_bytes", packet.wire_size)
-            # The channel is occupied for the serialization time (the tail
-            # streams behind the head); propagation pipelines, so release
-            # is scheduled now and the head crosses concurrently.
-            link.hold_for(ser)
-            if hop == 0 and on_injected is not None:
-                self.sim.schedule_callback(
-                    self.sim.now + ser, lambda: on_injected(packet)
-                )
-            yield self.sim.timeout(link.latency)
-        # The destination has the full packet one serialization after the
-        # head arrives.
-        yield self.sim.timeout(ser)
-        if self.loss.should_drop(packet, self.sim.now):
-            self.dropped += 1
-            if m is not None:
-                m.inc("net.fault_drops")
-            if self.sim.trace.enabled:
-                self.sim.record(
-                    "network",
-                    "pkt_drop",
-                    uid=packet.uid,
-                    src=packet.src,
-                    dst=packet.dst,
-                    seq=packet.header.seq,
-                    ptype=packet.header.ptype.value,
-                )
-            return
-        self.delivered += 1
-        if m is not None:
-            m.inc("net.packets_delivered")
-        if self.sim.trace.enabled:
-            self.sim.record(
-                "network",
-                "pkt_deliver",
-                uid=packet.uid,
-                src=packet.src,
-                dst=packet.dst,
-                seq=packet.header.seq,
-                ptype=packet.header.ptype.value,
-            )
-        self._sinks[packet.dst](packet)
+        walk = _Traversal(self, packet, links, on_injected)
+        sim = self.sim
+        freelist = sim._cb_freelist
+        if freelist:
+            cell = freelist.pop()
+            cell.fn = walk._claim_cb
+        else:
+            cell = _Callback(walk._claim_cb)
+        sim._now_uq.append(cell)
 
     def min_latency(self, src: int, dst: int, wire_size: int) -> float:
         """Uncontended wire time for a packet of *wire_size* bytes."""

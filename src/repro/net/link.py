@@ -99,7 +99,7 @@ class Link:
         releasing a granted claim is exactly one ``_release_unit``.
         """
         sim = self.sim
-        sim.schedule_callback(sim.now + duration, self._release_cb)
+        sim.schedule_callback(sim._now + duration, self._release_cb)
 
     def account(self, packet: "Packet") -> None:
         self.bytes_carried += packet.wire_size

@@ -9,7 +9,7 @@ state without host involvement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from enum import Enum
 from itertools import count
 from typing import Any
@@ -108,6 +108,10 @@ class PacketHeader:
     info: dict[str, Any] = field(default_factory=dict)
 
 
+#: Field names accepted by :meth:`Packet.clone` overrides.
+_HEADER_FIELDS = frozenset(PacketHeader.__dataclass_fields__)
+
+
 @dataclass
 class Packet:
     """A packet in flight.
@@ -139,9 +143,17 @@ class Packet:
         This is what a GM-2 descriptor callback does when it "changes the
         packet header and queues it for transmission again".
         """
-        new_header = replace(
-            self.header, info=dict(self.header.info), **header_overrides
-        )
+        # Dict-level copy instead of dataclasses.replace: clone runs once
+        # per forwarded/replicated packet, and replace() re-runs the whole
+        # 15-field constructor.  Unknown keys are still rejected.
+        bad = header_overrides.keys() - _HEADER_FIELDS
+        if bad:
+            raise TypeError(f"unknown header field(s): {sorted(bad)}")
+        new_header = PacketHeader.__new__(PacketHeader)
+        d = new_header.__dict__
+        d.update(self.header.__dict__)
+        d["info"] = dict(self.header.info)
+        d.update(header_overrides)
         return Packet(header=new_header)
 
     def describe(self) -> str:
@@ -151,6 +163,43 @@ class Packet:
             f"{h.ptype.value}[{h.src}->{h.dst}{grp} seq={h.seq} "
             f"msg={h.msg_id} chunk={h.chunk}/{h.nchunks} {h.payload}B]"
         )
+
+
+#: Default values for every optional :class:`PacketHeader` field, used by
+#: :func:`make_packet` to skip the generated dataclass ``__init__``.
+_HEADER_DEFAULTS = {
+    "port": 0, "from_port": 0, "seq": 0, "group": None, "msg_id": 0,
+    "chunk": 0, "nchunks": 1, "payload": 0, "msg_size": 0, "ack_seq": -1,
+}
+
+
+def make_packet(
+    ptype: PacketType, src: int, dst: int, origin: int, **fields: Any
+) -> Packet:
+    """Fast-path packet construction (header + packet via ``__new__``).
+
+    Equivalent to ``Packet(header=PacketHeader(...))`` but without
+    re-running the 15-field generated constructor — packets are built
+    once per transmission on the protocol hot paths.  Unknown header
+    fields are rejected exactly as :meth:`Packet.clone` rejects them.
+    """
+    bad = fields.keys() - _HEADER_FIELDS
+    if bad:
+        raise TypeError(f"unknown header field(s): {sorted(bad)}")
+    header = PacketHeader.__new__(PacketHeader)
+    d = header.__dict__
+    d.update(_HEADER_DEFAULTS)
+    d["ptype"] = ptype
+    d["src"] = src
+    d["dst"] = dst
+    d["origin"] = origin
+    d["info"] = {}
+    if fields:
+        d.update(fields)
+    pkt = Packet.__new__(Packet)
+    pkt.header = header
+    pkt.uid = next(_packet_ids)
+    return pkt
 
 
 def split_message(size: int, mtu: int = GM_MTU_PAYLOAD) -> list[int]:

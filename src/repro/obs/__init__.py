@@ -12,6 +12,7 @@ from repro.obs.health import (
     ObservedRun,
     build_health_report,
     render_health_report,
+    serving_section,
     run_observed,
 )
 from repro.obs.registry import (
@@ -44,6 +45,7 @@ __all__ = [
     "run_observed",
     "build_health_report",
     "render_health_report",
+    "serving_section",
     "SPAN_RULES",
     "chrome_trace",
     "chrome_trace_events",

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ObservedRun",
     "run_observed",
+    "serving_section",
     "build_health_report",
     "render_health_report",
 ]
@@ -58,6 +59,40 @@ RETRANSMIT_COUNTERS = (
 
 #: The ack-latency histogram every reliability binding feeds.
 ACK_LATENCY_METRIC = "proto.ack_latency_us"
+
+#: Counters folded into the serving section (sustained-traffic runs).
+SERVING_COUNTERS = (
+    "serving.msgs_posted",
+    "serving.msgs_delivered",
+    "serving.churn_scheduled",
+    "serving.churn_applied",
+)
+
+
+def serving_section(registry: MetricsRegistry) -> dict[str, Any] | None:
+    """The serving-workload section of a health report.
+
+    Built from the ``serving.*`` instruments the
+    :class:`~repro.workload.serving.TrafficEngine` feeds through the
+    duck-typed ``sim.metrics`` slot; returns ``None`` when the observed
+    run carried no sustained traffic (one-shot scheme runs), so
+    one-shot reports keep their exact prior shape.
+    """
+    if not any(name.startswith("serving.") for name in registry.names()):
+        return None
+    section: dict[str, Any] = {
+        name: registry.value(name) for name in SERVING_COUNTERS
+    }
+    section["delivered_msgs_per_sec"] = registry.value(
+        "serving.delivered_msgs_per_sec", 0.0
+    )
+    delivery = registry.get("serving.delivery_us")
+    if delivery is not None:
+        snap = delivery.snapshot()
+        section["delivery_us"] = {
+            key: snap[key] for key in ("count", "mean", "p50", "p99", "max")
+        }
+    return section
 
 
 @dataclass
@@ -141,7 +176,7 @@ def _scheme_report(run: ObservedRun) -> dict[str, Any]:
               "min": None, "max": None, "p50": 0.0, "p99": 0.0,
               "buckets": {}}
     )
-    return {
+    report = {
         "scheme": run.scheme,
         "title": get_scheme(run.scheme).title,
         "nodes": run.nodes,
@@ -156,6 +191,10 @@ def _scheme_report(run: ObservedRun) -> dict[str, Any]:
         "drops": _drop_counters(reg),
         "metrics": reg.snapshot(),
     }
+    serving = serving_section(reg)
+    if serving is not None:
+        report["serving"] = serving
+    return report
 
 
 def build_health_report(runs: list[ObservedRun]) -> dict[str, Any]:

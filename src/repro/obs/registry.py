@@ -206,17 +206,38 @@ class MetricsRegistry:
         return self._get(name, Histogram, buckets)
 
     # -- terse instrumentation calls (what the engines use) ----------------
+    # These run several times per packet when a registry is attached, so
+    # the steady-state path is flattened to one dict probe plus inline
+    # slot updates; get-or-create (and the type-mismatch error) only runs
+    # on each name's first use.
     def inc(self, name: str, n: int = 1) -> None:
-        self.counter(name).inc(n)
+        inst = self._metrics.get(name)
+        if inst is None or inst.__class__ is not Counter:
+            inst = self.counter(name)
+        inst.value += n
 
     def set_gauge(self, name: str, value: float) -> None:
-        self.gauge(name).set(value)
+        inst = self._metrics.get(name)
+        if inst is None or inst.__class__ is not Gauge:
+            inst = self.gauge(name)
+        inst.value = value
+        if value > inst.max_value:
+            inst.max_value = value
 
     def observe(
         self, name: str, value: float,
         buckets: Iterable[float] = LATENCY_BUCKETS_US,
     ) -> None:
-        self.histogram(name, buckets).observe(value)
+        inst = self._metrics.get(name)
+        if inst is None or inst.__class__ is not Histogram:
+            inst = self.histogram(name, buckets)
+        inst.counts[bisect_left(inst.bounds, value)] += 1
+        inst.count += 1
+        inst.total += value
+        if value < inst.min_seen:
+            inst.min_seen = value
+        if value > inst.max_seen:
+            inst.max_seen = value
 
     # -- introspection -----------------------------------------------------
     def __len__(self) -> int:

@@ -1,9 +1,13 @@
 """Benchmark harness: kernel events/sec and per-figure sweep timing.
 
-Three measurements back the performance claims in ``docs/performance.md``:
+Four measurements back the performance claims in ``docs/performance.md``:
 
 * **Kernel microbenchmark** — a tight timeout-pump process measures raw
   events/sec through ``Simulator.step`` with no protocol stack on top.
+* **Serving benchmark** — the pinned sustained-traffic workload
+  (:mod:`repro.perf.bench_serving`): full protocol stack, concurrent
+  multicast groups, churn — the regime Kernel v3's timer wheel and
+  same-instant batch drain target.
 * **Timer churn** — a lossy multicast workload counts retransmission
   timer (re)arms, heap callbacks, and stale fires, compared against the
   pre-refactor per-record ``call_at`` numbers measured on the same
@@ -28,6 +32,7 @@ import importlib
 import json
 import os
 import time
+from statistics import median
 from typing import Any, Generator, Sequence
 
 from repro.experiments import FIGURES
@@ -69,8 +74,9 @@ def bench_event_loop(
     is reported — a microbenchmark measures the kernel's achievable
     rate, and the minimum wall time is the standard noise-robust
     estimator for that; single-shot numbers on a busy host swing ±30%.
-    Per-repeat rates are kept in ``repeat_rates`` so the spread is
-    visible in the report.
+    ``median_events_per_sec`` is reported too (the CI gate compares
+    medians, which a single lucky pass cannot satisfy), and per-repeat
+    rates are kept in ``repeat_rates`` so the spread is visible.
     """
     from repro.sim import Simulator
 
@@ -97,6 +103,10 @@ def bench_event_loop(
         "events": events,
         "wall_s": round(wall, 4),
         "events_per_sec": round(events / wall) if wall > 0 else None,
+        # The median rate rides alongside best-of-N: the best run is the
+        # achievable-rate estimator, the median is the noise-robust one,
+        # and the CI perf gate compares medians.
+        "median_events_per_sec": round(median(rates)) if rates else None,
         "repeat_rates": rates,
     }
 
@@ -247,8 +257,11 @@ def run_bench(
     jobs: int | None = None,
     quick: bool = True,
     loop_events: int = 200_000,
+    smoke: bool = False,
 ) -> dict[str, Any]:
     """Run the full benchmark and return the report dict."""
+    from repro.perf.bench_serving import bench_serving
+
     jobs = jobs if jobs is not None else default_jobs()
     report: dict[str, Any] = {
         "benchmark": "repro.perf.bench_kernel",
@@ -256,6 +269,7 @@ def run_bench(
         "jobs": jobs,
         "quick": quick,
         "kernel": bench_event_loop(loop_events),
+        "serving": bench_serving(repeats=3, smoke=smoke),
         "timers": bench_timer_churn(),
         "figures": {},
     }
@@ -300,7 +314,8 @@ def main(argv: list[str] | None = None) -> int:
     figures = args.figures or (SMOKE_FIGURES if args.smoke else SWEEP_FIGURES)
     loop_events = 20_000 if args.smoke else 200_000
     report = run_bench(
-        figures=figures, jobs=args.jobs, loop_events=loop_events
+        figures=figures, jobs=args.jobs, loop_events=loop_events,
+        smoke=args.smoke,
     )
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)

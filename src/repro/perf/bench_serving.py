@@ -1,0 +1,132 @@
+"""Serving-workload benchmark: sustained events/sec through the kernel.
+
+The kernel microbenchmark (:func:`repro.perf.bench_kernel.bench_event_loop`)
+pumps distinct-timestamp timeouts — it measures the heap, not the
+regime the paper argues about.  This benchmark runs the sustained
+serving workload (:mod:`repro.workload`): concurrent multicast groups
+with mixed schemes, Poisson arrivals, membership churn — the traffic
+shape that hammers same-instant event bursts (fan-out replication) and
+retransmit-timer arm/cancel churn, i.e. exactly what Kernel v3's batch
+drain and timer wheel optimize.
+
+The workload is pinned (spec + seed), so the processed-event count is
+deterministic; only the wall clock varies.  Rates are reported
+best-of-N *and* median-of-N — CI gates on the median, the
+noise-robust choice on shared runners.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+from typing import Any
+
+from repro.perf.counters import KERNEL_COUNTERS
+
+__all__ = ["serving_spec", "bench_serving", "PRE_KERNEL_V3_SERVING"]
+
+#: The serving benchmark measured on this exact workload under the v2
+#: kernel (binary heap only, no timer wheel, no same-instant batch
+#: drain), before Kernel v3 landed.  Recorded as a constant so the
+#: report can show before/after without keeping the old kernel alive.
+#: Measured as the median of six interleaved adjacent-process pairs
+#: (v3/v2 alternating, one warmup + best-of-2 per process) on the
+#: benchmarking host — the same protocol that produced the v3 numbers
+#: in ``BENCH_kernel.json``; ``events`` and ``msgs_delivered`` are
+#: deterministic (and byte-identical observables across both kernels:
+#: delivered=2714, p99=2916.076 µs).
+PRE_KERNEL_V3_SERVING: dict[str, Any] = {
+    "events": 458_401,
+    "events_per_sec": 267_864,
+    "msgs_delivered": 2_714,
+}
+
+
+def serving_spec(smoke: bool = False):
+    """The canonical benchmark workload (pinned spec + seed).
+
+    16 nodes, 8 groups of 6 cycling through all four sustained-capable
+    schemes, mixed 8 KiB / 32 KiB messages (2–8 MTU packets each, so
+    fan-out replication and ack traffic dominate the schedule), and
+    membership churn — small enough to run in a couple of seconds,
+    busy enough that same-instant bursts and retransmit-timer
+    arm/cancel churn dominate the kernel's event mix.
+    """
+    from repro.scenario import TrafficSpec, serving_point
+
+    return serving_point(
+        n_nodes=16,
+        traffic=TrafficSpec(
+            duration_us=10_000.0 if smoke else 120_000.0,
+            n_groups=8,
+            group_size=6,
+            rate_per_group=1 / 2_000.0,
+            sizes=(8_192, 32_768),
+            schemes=(
+                "nic_based", "nic_multisend", "host_based", "nic_assisted",
+            ),
+            churn_interval_us=5_000.0,
+            warmup_us=2_000.0,
+        ),
+        seed=11,
+        name="bench_serving",
+    )
+
+
+def bench_serving(repeats: int = 3, smoke: bool = False) -> dict[str, Any]:
+    """Run the pinned serving workload *repeats* times, report rates.
+
+    One untimed warmup pass faults in code objects first.  The event
+    count is identical across passes (the workload is deterministic);
+    ``events_per_sec`` is the best pass and ``median_events_per_sec``
+    the median — the CI perf gate compares medians.
+    """
+    import repro.workload  # noqa: F401  (registers the serving runner)
+    from repro.scenario import Harness
+
+    def one_pass(spec) -> tuple[Any, int, float]:
+        KERNEL_COUNTERS.reset()
+        started = time.perf_counter()
+        result = Harness(spec).run()
+        wall = time.perf_counter() - started
+        return result.values[0], KERNEL_COUNTERS.events, wall
+
+    one_pass(serving_spec(smoke=True))  # warmup, untimed
+    spec = serving_spec(smoke=smoke)
+    passes = [one_pass(spec) for _ in range(max(1, repeats))]
+    rates = [round(ev / wall) for _, ev, wall in passes if wall > 0]
+    stats, events, wall = min(passes, key=lambda p: p[2])
+    event_counts = {ev for _, ev, _ in passes}
+    if len(event_counts) != 1:
+        raise AssertionError(
+            f"serving workload is not deterministic: {sorted(event_counts)}"
+        )
+    before = dict(PRE_KERNEL_V3_SERVING)
+    report = {
+        "workload": (
+            f"{spec.cluster.n_nodes} nodes, "
+            f"{spec.traffic.n_groups} groups x {spec.traffic.group_size}, "
+            f"{spec.traffic.duration_us:.0f}us, schemes "
+            f"{'/'.join(spec.traffic.schemes)}, churn"
+        ),
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+        "median_events_per_sec": round(median(rates)) if rates else None,
+        "repeat_rates": rates,
+        "msgs_posted": stats.msgs_posted,
+        "msgs_delivered": stats.msgs_delivered,
+        "churn_events": stats.churn_events,
+        "p99_delivery_us": round(stats.quantile(0.99), 3),
+        "before": before,
+    }
+    if before["events_per_sec"] and stats.msgs_delivered == before["msgs_delivered"]:
+        # Only the full pinned workload is comparable to the committed
+        # pre-v3 measurement (the smoke variant runs a shorter spec);
+        # the deterministic delivery count is the guard — raw event
+        # counts differ across kernels by design (v3 runs fewer,
+        # cheaper events for the same schedule).
+        report["speedup_vs_pre_kernel_v3"] = round(
+            report["median_events_per_sec"] / before["events_per_sec"], 2
+        )
+    return report

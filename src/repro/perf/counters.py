@@ -37,16 +37,31 @@ class KernelCounters:
         timer callbacks that popped;
     ``timer_stale_fires``
         fires that found nothing overdue (every record acked or
-        re-armed since scheduling) — pure heap churn.
+        re-armed since scheduling) — pure heap churn;
+    ``timers_cancelled``
+        outstanding timers defused (window drained before the fire) —
+        Kernel v3 removes these pops entirely.
+
+    The ``batched_events`` / ``wheel_*`` counters are maintained by the
+    Kernel v3 engine itself: ``batched_events`` counts events that rode
+    the same-instant now-queue instead of the heap; ``wheel_armed`` /
+    ``wheel_flushed`` / ``wheel_cancelled`` count timers entering the
+    hierarchical wheel, reaching the heap live, and being dropped in
+    the wheel after cancellation.
     """
 
     __slots__ = (
         "events",
+        "batched_events",
         "simulators",
         "timers_armed",
         "timers_scheduled",
+        "timers_cancelled",
         "timer_fires",
         "timer_stale_fires",
+        "wheel_armed",
+        "wheel_flushed",
+        "wheel_cancelled",
     )
 
     def __init__(self) -> None:
@@ -54,11 +69,16 @@ class KernelCounters:
 
     def reset(self) -> None:
         self.events = 0
+        self.batched_events = 0
         self.simulators = 0
         self.timers_armed = 0
         self.timers_scheduled = 0
+        self.timers_cancelled = 0
         self.timer_fires = 0
         self.timer_stale_fires = 0
+        self.wheel_armed = 0
+        self.wheel_flushed = 0
+        self.wheel_cancelled = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}

@@ -25,7 +25,11 @@ outstanding heap callback per window**:
   oldest"); then one callback is rescheduled at the earliest remaining
   deadline, if any;
 * acking a record requires **no** timer work at all: retirement from the
-  window is the defusing.
+  window is the defusing;
+* with Kernel v3 the outstanding callback is a cancellable wheel timer
+  (:meth:`~repro.sim.engine.Simulator.schedule_timer`): when an ack
+  drains the window, :meth:`RetransmitTimer.defuse` cancels it in O(1),
+  so the would-be stale pop never reaches the event loop at all.
 
 The observable schedule is unchanged by construction: a real timeout
 still fires at ``last_arm + timeout`` of the oldest unacked record, and
@@ -49,7 +53,7 @@ __all__ = ["RetransmitTimer"]
 class RetransmitTimer:
     """One retransmission timer for one :class:`SendWindow`."""
 
-    __slots__ = ("sim", "timeout", "window", "on_expire", "_next")
+    __slots__ = ("sim", "timeout", "window", "on_expire", "_next", "_handle")
 
     def __init__(
         self,
@@ -66,8 +70,10 @@ class RetransmitTimer:
         #: Called with the overdue oldest record; must (eventually)
         #: re-arm or retire it — the record is swept until then.
         self.on_expire = on_expire
-        #: Absolute pop time of the outstanding heap callback, or None.
+        #: Absolute pop time of the outstanding timer, or None.
         self._next: float | None = None
+        #: Wheel handle of the outstanding timer (cancellable), or None.
+        self._handle = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -99,10 +105,29 @@ class RetransmitTimer:
         m = self.sim.metrics
         if m is not None:
             m.inc("proto.timers_scheduled")
-        self.sim.call_at(when, self._fire)
+        self._handle = self.sim.schedule_timer(when, self._fire)
+
+    def defuse(self) -> None:
+        """Cancel the outstanding timer once the window has drained.
+
+        Ack paths call this after retiring records: with nothing left
+        unacked the scheduled fire could only pop stale, so cancelling
+        the wheel handle (O(1)) removes the pop entirely.  A no-op when
+        records remain or no timer is outstanding.
+        """
+        if self._next is None or self.window.records:
+            return
+        self._handle.cancel()
+        self._handle = None
+        self._next = None
+        KERNEL_COUNTERS.timers_cancelled += 1
+        m = self.sim.metrics
+        if m is not None:
+            m.inc("proto.timers_cancelled")
 
     def _fire(self) -> None:
         self._next = None
+        self._handle = None
         KERNEL_COUNTERS.timer_fires += 1
         m = self.sim.metrics
         if m is not None:

@@ -23,6 +23,7 @@ from repro.scenario.harness import (
     MulticastMeasurement,
     ScenarioResult,
     measured_ack_trip,
+    register_workload_runner,
     run_cell,
     run_spec,
 )
@@ -33,10 +34,12 @@ from repro.scenario.spec import (
     QUICK_SIZES,
     MeasurementSpec,
     ScenarioSpec,
+    TrafficSpec,
     WorkloadSpec,
     mpi_bcast_point,
     multicast_point,
     multisend_point,
+    serving_point,
     skew_point,
     unicast_point,
 )
@@ -53,13 +56,16 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
+    "TrafficSpec",
     "WorkloadSpec",
     "measured_ack_trip",
     "mpi_bcast_point",
     "multicast_point",
     "multisend_point",
+    "register_workload_runner",
     "run_cell",
     "run_spec",
+    "serving_point",
     "skew_point",
     "unicast_point",
 ]

@@ -32,6 +32,7 @@ from statistics import mean
 from typing import Any, Generator
 
 from repro.cluster import Cluster
+from repro.errors import ConfigError
 from repro.gm.params import GMCostModel
 from repro.mcast.schemes import create_scheme, get_scheme, resolve_scheme
 from repro.mpi.comm import Communicator
@@ -44,9 +45,23 @@ __all__ = [
     "MulticastMeasurement",
     "ScenarioResult",
     "measured_ack_trip",
+    "register_workload_runner",
     "run_cell",
     "run_spec",
 ]
+
+#: Workload kinds executed by externally registered runners.  The
+#: serving workload lives in :mod:`repro.workload`, which sits *above*
+#: this package in the layering — the harness must not import it, so
+#: ``repro.workload`` registers its runner here on import.  A runner
+#: takes the :class:`Harness` and returns the ``values`` mapping for
+#: the :class:`ScenarioResult`.
+_WORKLOAD_RUNNERS: dict[str, Any] = {}
+
+
+def register_workload_runner(kind: str, runner: Any) -> None:
+    """Register *runner* to execute scenarios of workload *kind*."""
+    _WORKLOAD_RUNNERS[kind] = runner
 
 
 @dataclass
@@ -76,6 +91,8 @@ class ScenarioResult:
             return value.latency
         if hasattr(value, "mean_bcast_cpu_time"):  # SkewResult
             return value.mean_bcast_cpu_time
+        if hasattr(value, "delivered_msgs_per_sec"):  # ServingStats
+            return value.delivered_msgs_per_sec
         return float(value)
 
 
@@ -118,8 +135,22 @@ class Harness:
 
     def run(self) -> ScenarioResult:
         """Measure every size in the spec's measurement policy."""
-        runner = getattr(self, "_run_" + self.spec.workload.kind)
-        values = {size: runner(size) for size in self.spec.measurement.sizes}
+        kind = self.spec.workload.kind
+        method = getattr(self, "_run_" + kind, None)
+        if method is not None:
+            values = {
+                size: method(size) for size in self.spec.measurement.sizes
+            }
+        else:
+            try:
+                runner = _WORKLOAD_RUNNERS[kind]
+            except KeyError:
+                raise ConfigError(
+                    f"no runner registered for workload kind {kind!r}; "
+                    "'serving' scenarios need `import repro.workload` "
+                    "first (the CLI and perf entry points do this)"
+                ) from None
+            values = runner(self)
         return ScenarioResult(
             spec=self.spec, metric=self.spec.metric, values=values
         )

@@ -27,13 +27,15 @@ from typing import Any
 from repro.config import ClusterConfig
 from repro.errors import ConfigError
 from repro.gm.params import GMCostModel
-from repro.mcast.schemes import resolve_scheme
+from repro.mcast.schemes import BoundScheme, get_scheme, resolve_scheme
 from repro.trees import TREE_SHAPES
 
 __all__ = [
     "ScenarioSpec",
     "WorkloadSpec",
     "MeasurementSpec",
+    "TrafficSpec",
+    "ARRIVAL_KINDS",
     "WORKLOAD_KINDS",
     "METRIC_BY_KIND",
     "PAPER_SIZES",
@@ -45,6 +47,7 @@ __all__ = [
     "multicast_point",
     "mpi_bcast_point",
     "skew_point",
+    "serving_point",
 ]
 
 #: Message sizes swept in the paper's GM-level figures (lists, as the
@@ -67,7 +70,11 @@ QUICK_MAX_SKEWS = (0.0, 800.0, 3200.0)
 
 WORKLOAD_KINDS = (
     "unicast", "multisend", "multicast", "mpi_bcast", "mpi_skew",
+    "serving",
 )
+
+#: Arrival processes a :class:`TrafficSpec` can declare.
+ARRIVAL_KINDS = ("poisson", "trace")
 
 #: The metric each workload kind reports (the paper's methodology).
 METRIC_BY_KIND = {
@@ -76,6 +83,7 @@ METRIC_BY_KIND = {
     "multicast": "max_leaf_delivery_plus_ack_us",
     "mpi_bcast": "bcast_latency_plus_ack_us",
     "mpi_skew": "bcast_cpu_time_us",
+    "serving": "delivered_msgs_per_sec",
 }
 
 #: MPI-level scheme spellings -> "use the NIC-based broadcast".
@@ -85,7 +93,11 @@ _MPI_SCHEMES = {
 }
 
 #: resolve_scheme context per workload kind (the legacy nb/hb dialects).
-_SCHEME_CONTEXT = {"multisend": "multisend", "multicast": "multicast"}
+_SCHEME_CONTEXT = {
+    "multisend": "multisend",
+    "multicast": "multicast",
+    "serving": "multicast",
+}
 
 
 def _unknown_keys(data: dict[str, Any], cls: type, what: str) -> None:
@@ -235,12 +247,156 @@ class MeasurementSpec:
 
 
 @dataclass(frozen=True)
+class TrafficSpec:
+    """Sustained serving traffic: many groups, continuous arrivals.
+
+    The serving workload (``kind="serving"``) runs ``n_groups``
+    concurrent multicast groups over one cluster for ``duration_us``
+    simulated microseconds.  Each group's root posts messages with
+    seeded Poisson inter-arrival gaps (``arrival="poisson"``, mean rate
+    ``rate_per_group`` messages/µs) or replays an explicit arrival
+    trace (``arrival="trace"``, ``trace_arrivals`` of
+    ``(time_us, group_index)`` pairs).  ``schemes`` are multicast
+    registry keys cycled across groups; ``sizes`` are cycled across a
+    group's messages.  ``churn_interval_us > 0`` adds membership churn:
+    a seeded process picks a group at mean exponential gaps and rotates
+    one member out for a spare node (applied between that group's
+    sends, so reliability state never straddles a membership change).
+    Deliveries inside ``warmup_us`` are excluded from the stats.
+    """
+
+    duration_us: float = 50_000.0
+    n_groups: int = 4
+    group_size: int = 3
+    arrival: str = "poisson"
+    rate_per_group: float = 1e-3  #: messages per µs per group (poisson)
+    trace_arrivals: tuple[tuple[float, int], ...] | None = None
+    sizes: tuple[int, ...] = (1024,)
+    schemes: tuple[str, ...] = ("nic_based",)
+    churn_interval_us: float = 0.0  #: mean µs between churn events; 0 = off
+    warmup_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_us <= 0:
+            raise ConfigError(
+                f"duration_us must be > 0, got {self.duration_us}"
+            )
+        if self.n_groups < 1:
+            raise ConfigError(f"n_groups must be >= 1, got {self.n_groups}")
+        if self.group_size < 1:
+            raise ConfigError(
+                f"group_size must be >= 1, got {self.group_size}"
+            )
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ConfigError(
+                f"unknown arrival kind {self.arrival!r}; "
+                f"pick one of {ARRIVAL_KINDS}"
+            )
+        if self.arrival == "poisson" and self.rate_per_group <= 0:
+            raise ConfigError(
+                f"rate_per_group must be > 0, got {self.rate_per_group}"
+            )
+        if self.arrival == "trace":
+            if not self.trace_arrivals:
+                raise ConfigError(
+                    "arrival='trace' needs a non-empty trace_arrivals"
+                )
+            object.__setattr__(
+                self,
+                "trace_arrivals",
+                tuple((float(t), int(g)) for t, g in self.trace_arrivals),
+            )
+            for t, g in self.trace_arrivals:
+                if t < 0:
+                    raise ConfigError(f"trace arrival time {t} < 0")
+                if not 0 <= g < self.n_groups:
+                    raise ConfigError(
+                        f"trace arrival group {g} outside "
+                        f"[0, {self.n_groups})"
+                    )
+        elif self.trace_arrivals is not None:
+            raise ConfigError(
+                "trace_arrivals requires arrival='trace'"
+            )
+        object.__setattr__(self, "sizes", tuple(self.sizes))
+        if not self.sizes:
+            raise ConfigError("traffic needs at least one message size")
+        if any(not isinstance(s, int) or s < 0 for s in self.sizes):
+            raise ConfigError(f"sizes must be ints >= 0, got {self.sizes}")
+        if not self.schemes:
+            raise ConfigError("traffic needs at least one scheme")
+        try:
+            object.__setattr__(
+                self,
+                "schemes",
+                tuple(
+                    resolve_scheme(s, context="multicast")
+                    for s in self.schemes
+                ),
+            )
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
+        for key in self.schemes:
+            if get_scheme(key).cls.post is BoundScheme.post:
+                raise ConfigError(
+                    f"scheme {key!r} cannot drive sustained traffic "
+                    "(it only supports one-shot run_once)"
+                )
+        if self.churn_interval_us < 0:
+            raise ConfigError(
+                f"churn_interval_us must be >= 0, "
+                f"got {self.churn_interval_us}"
+            )
+        if not 0 <= self.warmup_us < self.duration_us:
+            raise ConfigError(
+                f"warmup_us must be in [0, duration_us), "
+                f"got {self.warmup_us}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "duration_us": self.duration_us,
+            "n_groups": self.n_groups,
+            "group_size": self.group_size,
+            "arrival": self.arrival,
+            "sizes": list(self.sizes),
+            "schemes": list(self.schemes),
+        }
+        if self.arrival == "poisson":
+            out["rate_per_group"] = self.rate_per_group
+        if self.trace_arrivals is not None:
+            out["trace_arrivals"] = [list(p) for p in self.trace_arrivals]
+        if self.churn_interval_us:
+            out["churn_interval_us"] = self.churn_interval_us
+        if self.warmup_us:
+            out["warmup_us"] = self.warmup_us
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrafficSpec":
+        _unknown_keys(data, cls, "traffic spec")
+        if "sizes" in data:
+            data = dict(data, sizes=tuple(data["sizes"]))
+        if "schemes" in data:
+            data = dict(data, schemes=tuple(data["schemes"]))
+        if data.get("trace_arrivals") is not None:
+            data = dict(
+                data,
+                trace_arrivals=tuple(
+                    tuple(p) for p in data["trace_arrivals"]
+                ),
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, serializable experiment scenario."""
 
     workload: WorkloadSpec
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
+    traffic: TrafficSpec | None = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -258,6 +414,27 @@ class ScenarioSpec:
             raise ConfigError("unicast needs at least 2 nodes")
         if w.kind != "unicast" and n < 2:
             raise ConfigError(f"{w.kind} needs at least 2 nodes")
+        if w.kind == "serving":
+            if self.traffic is None:
+                raise ConfigError(
+                    "serving scenarios need a 'traffic' section"
+                )
+            t = self.traffic
+            if t.group_size > n - 1:
+                raise ConfigError(
+                    f"group_size {t.group_size} does not fit a "
+                    f"{n}-node cluster (root + members)"
+                )
+            if t.churn_interval_us and t.group_size > n - 2:
+                raise ConfigError(
+                    "membership churn needs at least one spare node: "
+                    f"group_size {t.group_size} leaves none in a "
+                    f"{n}-node cluster"
+                )
+        elif self.traffic is not None:
+            raise ConfigError(
+                "a 'traffic' section requires workload kind 'serving'"
+            )
 
     @property
     def metric(self) -> str:
@@ -279,6 +456,8 @@ class ScenarioSpec:
         out["cluster"] = self.cluster.to_dict()
         out["workload"] = self.workload.to_dict()
         out["measurement"] = self.measurement.to_dict()
+        if self.traffic is not None:
+            out["traffic"] = self.traffic.to_dict()
         return out
 
     @classmethod
@@ -295,6 +474,8 @@ class ScenarioSpec:
             kwargs["measurement"] = MeasurementSpec.from_dict(
                 data["measurement"]
             )
+        if data.get("traffic") is not None:
+            kwargs["traffic"] = TrafficSpec.from_dict(data["traffic"])
         if "name" in data:
             kwargs["name"] = data["name"]
         return cls(**kwargs)
@@ -395,6 +576,23 @@ def mpi_bcast_point(
         measurement=MeasurementSpec(
             sizes=(size,), iterations=iterations, warmup=warmup
         ),
+    )
+
+
+def serving_point(
+    n_nodes: int = 16,
+    traffic: TrafficSpec | None = None,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+    name: str = "",
+) -> ScenarioSpec:
+    """Sustained serving shape: concurrent groups, continuous arrivals."""
+    return ScenarioSpec(
+        workload=WorkloadSpec(kind="serving"),
+        cluster=_cluster_cfg(n_nodes, cost, seed),
+        measurement=MeasurementSpec(sizes=(0,), iterations=1, warmup=0),
+        traffic=traffic or TrafficSpec(),
+        name=name,
     )
 
 

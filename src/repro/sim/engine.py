@@ -7,11 +7,31 @@ freelist).  Timers that only need to run a function (``call_at``,
 :meth:`Simulator.schedule_callback` and never allocate an event; the run
 loops are fused (hoisted heap/locals, batched counter updates) so the
 per-event cost is one heap pop plus the callbacks themselves.
+
+Kernel v3 adds two structures around the heap:
+
+* a **now-queue** (one per priority) — same-instant work (``succeed``,
+  zero-delay timeouts, same-time callbacks, process boots and exits)
+  goes on a plain FIFO deque instead of the heap.  The run loops drain
+  any heap entries already due at the current instant first (they were
+  scheduled earlier, so their sequence numbers are smaller), then the
+  urgent queue, then the normal queue, each in append order — byte
+  identical to the ``(when, priority, seq)`` heap order, without paying
+  ``heappush``/``heappop`` for the majority of events in a cascade;
+* a **hierarchical timer wheel** — cancellable timers armed through
+  :meth:`Simulator.schedule_timer` land in coarse time buckets (64 µs
+  level-0 slots, 4096 µs level-1 slots, an overflow list beyond) and are
+  only flushed onto the heap when the clock approaches their slot.  A
+  timer cancelled while still in the wheel never touches the heap at
+  all; one cancelled after flushing is skipped at pop.  Entries keep the
+  ``(when, priority, seq)`` key assigned when armed, so flushing
+  reproduces exactly the order direct heap scheduling would have given.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from functools import partial
 from itertools import count
 from typing import Any, Callable, Generator
@@ -29,6 +49,18 @@ __all__ = ["Simulator", "URGENT", "NORMAL", "set_default_metrics"]
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+
+_INF = float("inf")
+
+#: Timer-wheel level-0 slot width, µs.  Sized so the default 400 µs
+#: retransmission timeout spans a handful of slots: a timer armed and
+#: acked within its round trip is cancelled long before its slot flushes.
+_WHEEL_G0 = 64.0
+#: Slots per level; level-1 slot width equals one full level-0 span.
+_WHEEL_SLOTS = 64
+_WHEEL_SPAN0 = _WHEEL_G0 * _WHEEL_SLOTS  # 4 096 µs
+_WHEEL_G1 = _WHEEL_SPAN0
+_WHEEL_SPAN1 = _WHEEL_G1 * _WHEEL_SLOTS  # 262 144 µs
 
 #: Registry adopted by simulators created after :func:`set_default_metrics`.
 #: ``None`` (the default) keeps all instrumentation down to one attribute
@@ -66,8 +98,40 @@ class _Callback:
 
     __slots__ = ("fn",)
 
+    #: Class-level sentinel: the run loops dispatch on the ``callbacks``
+    #: attribute (``None`` = bare-callable cell, a list = SimEvent), so
+    #: the common SimEvent case pays one attribute load, not two
+    #: class-identity checks.
+    callbacks = None
+
     def __init__(self, fn: Callable[[], None] | None = None):
         self.fn = fn
+
+
+class _TimerHandle:
+    """A cancellable timer armed via :meth:`Simulator.schedule_timer`.
+
+    Cancellation is a flag flip: a handle still sitting in the wheel is
+    dropped at flush time (never reaching the heap); one already flushed
+    is skipped when its tuple pops.  Either way the cancelled timer
+    costs no event dispatch.
+    """
+
+    __slots__ = ("fn", "cancelled")
+
+    #: See :class:`_Callback` — dispatch discriminator for the run loops.
+    callbacks = None
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<_TimerHandle {state} fn={self.fn!r}>"
 
 
 class Simulator:
@@ -87,6 +151,24 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: bool = False):
         self._heap: list[tuple[float, int, int, Any]] = []
+        #: Same-instant NORMAL-priority work, drained FIFO after any heap
+        #: entries already due at the current time (see module docstring).
+        #: Invariant: everything queued here was appended at the current
+        #: ``_now``; the queue is always empty when time advances.
+        self._now_q: deque[Any] = deque()
+        #: Same-instant URGENT work (process boots/exits, head-of-line
+        #: claims).  Drains before ``_now_q``; heap entries due now at
+        #: URGENT priority still go first (they carry smaller seqs).
+        self._now_uq: deque[Any] = deque()
+        # Timer wheel: {slot_key: [entry, ...]} per level, entries are
+        # ordinary heap tuples ``(when, priority, seq, _TimerHandle)``.
+        self._wheel_l0: dict[float, list[tuple]] = {}
+        self._wheel_l1: dict[float, list[tuple]] = {}
+        self._wheel_overflow: list[tuple] = []
+        #: Earliest slot start holding any wheel entry (``inf`` = empty).
+        #: The run loops flush the wheel whenever the next event to
+        #: process is at or past this time.
+        self._wheel_next: float = _INF
         self._now: float = 0.0
         self._seq = count()
         self._cb_freelist: list[_Callback] = []
@@ -113,10 +195,31 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._now_q or self._now_uq:
+            return self._now
+        heap = self._heap
+        while self._wheel_next < _INF and (
+            not heap or self._wheel_next <= heap[0][0]
+        ):
+            self._flush_wheel(self._wheel_next)
+        while heap:
+            entry = heap[0]
+            if entry[3].__class__ is _TimerHandle and entry[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            return entry[0]
+        return _INF
 
     def __repr__(self) -> str:
-        return f"<Simulator t={self._now:.3f}us queued={len(self._heap)}>"
+        queued = (
+            len(self._heap)
+            + len(self._now_q)
+            + len(self._now_uq)
+            + sum(len(b) for b in self._wheel_l0.values())
+            + sum(len(b) for b in self._wheel_l1.values())
+            + len(self._wheel_overflow)
+        )
+        return f"<Simulator t={self._now:.3f}us queued={queued}>"
 
     # -- event factories ---------------------------------------------------
     def event(self, name: str | None = None) -> SimEvent:
@@ -157,9 +260,19 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), event)
-        )
+        if delay == 0.0:
+            # Same-instant work: straight onto the now-queue for its
+            # priority.  Heap entries already due at this instant were
+            # scheduled earlier (smaller seq) and the loops drain them
+            # first, so FIFO append order reproduces exact heap order.
+            if priority == 1:
+                self._now_q.append(event)
+            else:
+                self._now_uq.append(event)
+        else:
+            heapq.heappush(
+                self._heap, (self._now + delay, priority, next(self._seq), event)
+            )
 
     def schedule_callback(
         self, when: float, fn: Callable[[], None], priority: int = NORMAL
@@ -168,9 +281,11 @@ class Simulator:
 
         The allocation-free timer primitive: no :class:`SimEvent`, no
         callback list — just a recycled :class:`_Callback` cell on the
-        heap.  Use it for fire-and-forget work (resource releases,
-        retransmission timers); use :meth:`event`/:meth:`timeout` when
-        something needs to *wait* on the result.
+        heap (or the now-queue when *when* is the current instant).  Use
+        it for fire-and-forget work (resource releases, packet-hop
+        holds); use :meth:`schedule_timer` when the timer may need
+        cancelling, and :meth:`event`/:meth:`timeout` when something
+        needs to *wait* on the result.
         """
         if when < self._now:
             raise ValueError(
@@ -182,7 +297,13 @@ class Simulator:
             cell.fn = fn
         else:
             cell = _Callback(fn)
-        heapq.heappush(self._heap, (when, priority, next(self._seq), cell))
+        if when == self._now:
+            if priority == 1:
+                self._now_q.append(cell)
+            else:
+                self._now_uq.append(cell)
+        else:
+            heapq.heappush(self._heap, (when, priority, next(self._seq), cell))
 
     def call_at(
         self, when: float, fn: Callable[[], None], *, priority: int = NORMAL
@@ -190,25 +311,163 @@ class Simulator:
         """Run ``fn()`` at absolute time *when* (>= now)."""
         self.schedule_callback(when, fn, priority)
 
+    def schedule_timer(
+        self, when: float, fn: Callable[[], None], priority: int = NORMAL
+    ) -> _TimerHandle:
+        """Arm a cancellable timer: ``fn()`` at *when* (> now), O(1) cancel.
+
+        The returned handle's :meth:`~_TimerHandle.cancel` defuses the
+        timer without heap surgery.  Timers due within one wheel slot go
+        straight to the heap; everything further out lands in the wheel
+        and only reaches the heap if still live when its slot flushes.
+        The ``(when, priority, seq)`` key is fixed at arm time, so wheel
+        routing never changes execution order.
+        """
+        if when <= self._now:
+            raise ValueError(
+                f"schedule_timer({when}) is not in the future (now={self._now})"
+            )
+        handle = _TimerHandle(fn)
+        entry = (when, priority, next(self._seq), handle)
+        distance = when - self._now
+        if distance < _WHEEL_G0:
+            heapq.heappush(self._heap, entry)
+            return handle
+        if distance < _WHEEL_SPAN0:
+            key = when // _WHEEL_G0
+            self._wheel_l0.setdefault(key, []).append(entry)
+            start = key * _WHEEL_G0
+        elif distance < _WHEEL_SPAN1:
+            key = when // _WHEEL_G1
+            self._wheel_l1.setdefault(key, []).append(entry)
+            start = key * _WHEEL_G1
+        else:
+            self._wheel_overflow.append(entry)
+            start = (when // _WHEEL_G1) * _WHEEL_G1
+        if start < self._wheel_next:
+            self._wheel_next = start
+        KERNEL_COUNTERS.wheel_armed += 1
+        return handle
+
+    def _flush_wheel(self, upto: float) -> None:
+        """Move every wheel entry that could be due by *upto* to the heap.
+
+        Slots whose start lies at or before *upto* are emptied: live
+        entries are heap-pushed under their original ``(when, priority,
+        seq)`` key, cancelled entries are dropped without ever touching
+        the heap.  Level-1 slots cascade into level-0 (or the heap);
+        the overflow list re-buckets once its earliest entry comes
+        within level-1 reach.
+        """
+        heap = self._heap
+        push = heapq.heappush
+        l0 = self._wheel_l0
+        l1 = self._wheel_l1
+        flushed = 0
+        dropped = 0
+        overflow = self._wheel_overflow
+        if overflow:
+            keep = []
+            for entry in overflow:
+                if entry[3].cancelled:
+                    dropped += 1
+                elif entry[0] - upto < _WHEEL_SPAN1:
+                    key = entry[0] // _WHEEL_G1
+                    l1.setdefault(key, []).append(entry)
+                else:
+                    keep.append(entry)
+            self._wheel_overflow = overflow = keep
+        if l1:
+            for key in [k for k in l1 if k * _WHEEL_G1 <= upto]:
+                for entry in l1.pop(key):
+                    if entry[3].cancelled:
+                        dropped += 1
+                    elif (entry[0] // _WHEEL_G0) * _WHEEL_G0 <= upto:
+                        push(heap, entry)
+                        flushed += 1
+                    else:
+                        l0.setdefault(entry[0] // _WHEEL_G0, []).append(entry)
+        if l0:
+            for key in [k for k in l0 if k * _WHEEL_G0 <= upto]:
+                for entry in l0.pop(key):
+                    if entry[3].cancelled:
+                        dropped += 1
+                    else:
+                        push(heap, entry)
+                        flushed += 1
+        nxt = _INF
+        if l0:
+            nxt = min(l0) * _WHEEL_G0
+        if l1:
+            start = min(l1) * _WHEEL_G1
+            if start < nxt:
+                nxt = start
+        if overflow:
+            start = (min(e[0] for e in overflow) // _WHEEL_G1) * _WHEEL_G1
+            if start < nxt:
+                nxt = start
+        self._wheel_next = nxt
+        KERNEL_COUNTERS.wheel_flushed += flushed
+        KERNEL_COUNTERS.wheel_cancelled += dropped
+
     # -- run loop ----------------------------------------------------------
     def step(self) -> None:
         """Process one event from the queue."""
-        if not self._heap:
-            raise EmptySchedule
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        self._now = when
-        self.events_processed += 1
-        KERNEL_COUNTERS.events += 1
-        if event.__class__ is _Callback:
-            fn = event.fn
-            event.fn = None
-            self._cb_freelist.append(event)
-            fn()
+        heap = self._heap
+        while True:
+            if self._now_uq:
+                # Urgent heap entries due now were scheduled earlier
+                # (smaller seq) and go first; NORMAL heap entries wait —
+                # priority outranks seq at the same instant.
+                if heap and heap[0][0] == self._now and heap[0][1] == 0:
+                    _w, _p, _s, event = heapq.heappop(heap)
+                else:
+                    event = self._now_uq.popleft()
+                    KERNEL_COUNTERS.batched_events += 1
+            elif self._now_q:
+                # No wheel check needed here: timers always land in
+                # slots strictly after their arm time, and every
+                # time-advancing pop flushes first — so while the
+                # now-queue drains, ``_wheel_next > _now`` holds.
+                if heap and heap[0][0] == self._now:
+                    _w, _p, _s, event = heapq.heappop(heap)
+                else:
+                    event = self._now_q.popleft()
+                    KERNEL_COUNTERS.batched_events += 1
+            elif heap:
+                when = heap[0][0]
+                if self._wheel_next <= when:
+                    self._flush_wheel(when)
+                    continue
+                when, _p, _s, event = heapq.heappop(heap)
+                self._now = when
+            elif self._wheel_next < _INF:
+                self._flush_wheel(self._wheel_next)
+                continue
+            else:
+                raise EmptySchedule
+            callbacks = event.callbacks
+            if callbacks is not None:
+                self.events_processed += 1
+                KERNEL_COUNTERS.events += 1
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                return
+            if event.__class__ is _Callback:
+                self.events_processed += 1
+                KERNEL_COUNTERS.events += 1
+                fn = event.fn
+                event.fn = None
+                self._cb_freelist.append(event)
+                fn()
+                return
+            if event.cancelled:  # defused _TimerHandle: skip, no event
+                continue
+            self.events_processed += 1
+            KERNEL_COUNTERS.events += 1
+            event.fn()
             return
-        callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None, "event processed twice"
-        for cb in callbacks:
-            cb(event)
 
     def run(self, until: float | SimEvent | None = None) -> Any:
         """Run the simulation.
@@ -220,34 +479,78 @@ class Simulator:
         * a :class:`SimEvent` — run until that event is processed, and
           return its value (raising its exception if it failed).
 
-        All three loops are fused: heap and helpers are hoisted into
-        locals and the lifetime counters are updated once per run, not
-        once per event.
+        All three loops are fused: heap, queue, and helpers are hoisted
+        into locals and the lifetime counters are updated once per run,
+        not once per event.
         """
         heap = self._heap
+        q = self._now_q
+        uq = self._now_uq
         pop = heapq.heappop
+        popleft = q.popleft
+        upopleft = uq.popleft
         cb_cls = _Callback
         freelist = self._cb_freelist
         n = 0
+        nb = 0
+        now_val = self._now
 
         if until is None:
             try:
-                while heap:
-                    when, _p, _s, event = pop(heap)
-                    self._now = when
-                    n += 1
-                    if event.__class__ is cb_cls:
+                while True:
+                    if uq:
+                        # Urgent heap entries due now carry smaller seqs
+                        # and go first; NORMAL heap entries wait behind
+                        # the urgent queue (priority outranks seq).
+                        if heap and heap[0][0] == now_val and heap[0][1] == 0:
+                            _w, _p, _s, event = pop(heap)
+                        else:
+                            event = upopleft()
+                            nb += 1
+                    elif q:
+                        # No wheel check while the queue drains: timers
+                        # always land in slots strictly after their arm
+                        # time, and every time-advancing pop below
+                        # flushes first, so ``_wheel_next > _now`` holds.
+                        if heap and heap[0][0] == now_val:
+                            _w, _p, _s, event = pop(heap)
+                        else:
+                            event = popleft()
+                            nb += 1
+                    elif heap:
+                        when = heap[0][0]
+                        if self._wheel_next <= when:
+                            self._flush_wheel(when)
+                            continue
+                        when, _p, _s, event = pop(heap)
+                        self._now = now_val = when
+                    elif self._wheel_next < _INF:
+                        self._flush_wheel(self._wheel_next)
+                        continue
+                    else:
+                        break
+                    callbacks = event.callbacks
+                    if callbacks is not None:
+                        n += 1
+                        event.callbacks = None
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for cb in callbacks:
+                                cb(event)
+                    elif event.__class__ is cb_cls:
+                        n += 1
                         fn = event.fn
                         event.fn = None
                         freelist.append(event)
                         fn()
-                        continue
-                    callbacks, event.callbacks = event.callbacks, None
-                    for cb in callbacks:
-                        cb(event)
+                    elif not event.cancelled:
+                        n += 1
+                        event.fn()
             finally:
                 self.events_processed += n
                 KERNEL_COUNTERS.events += n
+                KERNEL_COUNTERS.batched_events += nb
             return None
 
         if isinstance(until, SimEvent):
@@ -260,26 +563,55 @@ class Simulator:
             stop.add_callback(lambda _ev: flag.append(True))
             try:
                 while not flag:
-                    if not heap:
+                    if uq:
+                        if heap and heap[0][0] == now_val and heap[0][1] == 0:
+                            _w, _p, _s, event = pop(heap)
+                        else:
+                            event = upopleft()
+                            nb += 1
+                    elif q:
+                        if heap and heap[0][0] == now_val:
+                            _w, _p, _s, event = pop(heap)
+                        else:
+                            event = popleft()
+                            nb += 1
+                    elif heap:
+                        when = heap[0][0]
+                        if self._wheel_next <= when:
+                            self._flush_wheel(when)
+                            continue
+                        when, _p, _s, event = pop(heap)
+                        self._now = now_val = when
+                    elif self._wheel_next < _INF:
+                        self._flush_wheel(self._wheel_next)
+                        continue
+                    else:
                         raise RuntimeError(
                             f"simulation ran out of events before {stop!r} "
                             "triggered"
                         )
-                    when, _p, _s, event = pop(heap)
-                    self._now = when
-                    n += 1
-                    if event.__class__ is cb_cls:
+                    callbacks = event.callbacks
+                    if callbacks is not None:
+                        n += 1
+                        event.callbacks = None
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for cb in callbacks:
+                                cb(event)
+                    elif event.__class__ is cb_cls:
+                        n += 1
                         fn = event.fn
                         event.fn = None
                         freelist.append(event)
                         fn()
-                        continue
-                    callbacks, event.callbacks = event.callbacks, None
-                    for cb in callbacks:
-                        cb(event)
+                    elif not event.cancelled:
+                        n += 1
+                        event.fn()
             finally:
                 self.events_processed += n
                 KERNEL_COUNTERS.events += n
+                KERNEL_COUNTERS.batched_events += nb
             if not stop.ok:
                 raise stop.value
             return stop.value
@@ -288,21 +620,55 @@ class Simulator:
         if horizon < self._now:
             raise ValueError(f"run(until={horizon}) is in the past")
         try:
-            while heap and heap[0][0] <= horizon:
-                when, _p, _s, event = pop(heap)
-                self._now = when
-                n += 1
-                if event.__class__ is cb_cls:
+            while True:
+                if uq:
+                    if heap and heap[0][0] == now_val and heap[0][1] == 0:
+                        _w, _p, _s, event = pop(heap)
+                    else:
+                        event = upopleft()
+                        nb += 1
+                elif q:
+                    if heap and heap[0][0] == now_val:
+                        _w, _p, _s, event = pop(heap)
+                    else:
+                        event = popleft()
+                        nb += 1
+                elif heap:
+                    when = heap[0][0]
+                    wnext = self._wheel_next
+                    if wnext <= when and wnext <= horizon:
+                        self._flush_wheel(when if when < horizon else horizon)
+                        continue
+                    if when > horizon:
+                        break
+                    when, _p, _s, event = pop(heap)
+                    self._now = now_val = when
+                elif self._wheel_next <= horizon:
+                    self._flush_wheel(horizon)
+                    continue
+                else:
+                    break
+                callbacks = event.callbacks
+                if callbacks is not None:
+                    n += 1
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+                elif event.__class__ is cb_cls:
+                    n += 1
                     fn = event.fn
                     event.fn = None
                     freelist.append(event)
                     fn()
-                    continue
-                callbacks, event.callbacks = event.callbacks, None
-                for cb in callbacks:
-                    cb(event)
+                elif not event.cancelled:
+                    n += 1
+                    event.fn()
         finally:
             self.events_processed += n
             KERNEL_COUNTERS.events += n
+            KERNEL_COUNTERS.batched_events += nb
         self._now = max(self._now, horizon)
         return None

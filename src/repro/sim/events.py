@@ -90,7 +90,13 @@ class SimEvent:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, 0.0, priority)
+        # Inlined Simulator._schedule (succeed is the kernel's single
+        # hottest trigger): each priority rides its own now-queue.
+        sim = self.sim
+        if priority == 1:
+            sim._now_q.append(self)
+        else:
+            sim._now_uq.append(self)
         return self
 
     def fail(self, exception: BaseException, *, priority: int = 1) -> "SimEvent":
@@ -101,7 +107,11 @@ class SimEvent:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, 0.0, priority)
+        sim = self.sim
+        if priority == 1:
+            sim._now_q.append(self)
+        else:
+            sim._now_uq.append(self)
         return self
 
     # -- waiting ---------------------------------------------------------
@@ -162,9 +172,15 @@ class Timeout(SimEvent):
         self._ok = True
         self.name = name
         self.delay = delay
-        _heappush(
-            sim._heap, (sim._now + delay, 1, next(sim._seq), self)
-        )
+        if delay == 0.0:
+            # Zero-delay timeouts ride the kernel's now-queue (Kernel
+            # v3): FIFO append order equals heap (when, priority, seq)
+            # order for same-instant NORMAL work, minus the heap ops.
+            sim._now_q.append(self)
+        else:
+            _heappush(
+                sim._heap, (sim._now + delay, 1, next(sim._seq), self)
+            )
 
 
 class Condition(SimEvent):

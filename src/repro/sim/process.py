@@ -10,6 +10,7 @@ and composed like any other event.
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.sim.events import Interrupt, SimEvent
@@ -23,7 +24,7 @@ __all__ = ["Process"]
 class Process(SimEvent):
     """A running simulation process (also an event: triggers on exit)."""
 
-    __slots__ = ("_generator", "_target", "_resume_cb")
+    __slots__ = ("_generator", "_target", "_resume_cb", "_send", "_throw")
 
     def __init__(
         self,
@@ -31,12 +32,20 @@ class Process(SimEvent):
         generator: Generator[SimEvent, Any, Any],
         name: str | None = None,
     ):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        # The common case is an actual generator (one type check); only
+        # duck-typed stand-ins pay the hasattr probes.
+        if type(generator) is not GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise TypeError(
                 f"Process requires a generator, got {type(generator).__name__}"
             )
         super().__init__(sim, name=name or getattr(generator, "__name__", None))
         self._generator = generator
+        #: Bound ``send``/``throw``, cached once — rebinding them on every
+        #: resume costs a method lookup per event.
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process is currently waiting on (None if not
         #: started or finished).
         self._target: SimEvent | None = None
@@ -46,11 +55,15 @@ class Process(SimEvent):
         self._resume_cb = self._resume
         # Kick off at the current instant, with urgent priority so a
         # just-created process starts before same-time ordinary events.
-        boot = SimEvent(sim, name=f"boot:{self.name}")
-        boot._ok = True
+        # The boot event is anonymous — an f-string name per spawned
+        # process showed up in serving-rate profiles.
+        boot = SimEvent.__new__(SimEvent)
+        boot.sim = sim
+        boot.callbacks = [self._resume_cb]
         boot._value = None
-        sim._schedule(boot, 0.0, 0)
-        boot.add_callback(self._resume_cb)
+        boot._ok = True
+        boot.name = None
+        sim._now_uq.append(boot)
 
     @property
     def is_alive(self) -> bool:
@@ -79,16 +92,16 @@ class Process(SimEvent):
 
     def _resume(self, event: SimEvent) -> None:
         self._target = None
-        generator = self._generator
+        send = self._send
         while True:
             try:
                 # Events handed to _resume are always triggered, so the
                 # slots are read directly (the ok/value properties cost a
                 # descriptor call each on the busiest path in the kernel).
                 if event._ok:
-                    target = generator.send(event._value)
+                    target = send(event._value)
                 else:
-                    target = generator.throw(event._value)
+                    target = self._throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value, priority=0)
                 return
@@ -110,7 +123,7 @@ class Process(SimEvent):
                     "which is not a SimEvent"
                 )
                 try:
-                    generator.throw(err)
+                    self._throw(err)
                 except StopIteration as stop:
                     self.succeed(stop.value, priority=0)
                     return

@@ -19,7 +19,7 @@ from collections import deque
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
-from repro.sim.events import SimEvent
+from repro.sim.events import PENDING, SimEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -156,16 +156,23 @@ class Resource:
         self.busy_time += duration
         self.use_count += 1
         sim = self.sim
-        ev = SimEvent(sim)
-        ev._ok = True
-        ev._value = None
+        # Slots assigned directly (one hold-end event per modelled
+        # occupancy makes this the kernel's hottest allocation site).
+        ev = SimEvent.__new__(SimEvent)
+        ev.sim = sim
         # The release runs first, then the waiting process resumes —
         # matching use(), whose epilogue releases before the caller's
         # continuation code runs.
-        ev.callbacks.append(self._fast_hold_done)
-        heapq.heappush(
-            sim._heap, (sim._now + duration, 1, next(sim._seq), ev)
-        )
+        ev.callbacks = [self._fast_hold_done]
+        ev._value = None
+        ev._ok = True
+        ev.name = None
+        if duration == 0.0:
+            sim._now_q.append(ev)
+        else:
+            heapq.heappush(
+                sim._heap, (sim._now + duration, 1, next(sim._seq), ev)
+            )
         return ev
 
     def _fast_hold_done(self, _ev: SimEvent) -> None:
@@ -184,6 +191,7 @@ class Store:
     def __init__(self, sim: "Simulator", name: str | None = None):
         self.sim = sim
         self.name = name
+        self._get_name = f"get:{name}" if name else None
         self._items: deque[Any] = deque()
         self._getters: deque[SimEvent] = deque()
 
@@ -197,12 +205,21 @@ class Store:
 
     def put(self, item: Any) -> None:
         self._items.append(item)
-        self._dispatch()
+        if self._getters:
+            self._dispatch()
 
     def get(self) -> SimEvent:
-        ev = self.sim.event(name=f"get:{self.name}" if self.name else None)
+        # Allocated via __new__ (one getter event per received packet
+        # makes this a kernel-hot allocation site).
+        ev = SimEvent.__new__(SimEvent)
+        ev.sim = self.sim
+        ev.callbacks = []
+        ev._value = PENDING
+        ev._ok = None
+        ev.name = self._get_name
         self._getters.append(ev)
-        self._dispatch()
+        if self._items:
+            self._dispatch()
         return ev
 
     def try_get(self) -> Any:
@@ -250,7 +267,20 @@ class PriorityStore(Store):
 
     def put_priority(self, priority: Any, item: Any) -> None:
         heapq.heappush(self._heap, (priority, next(self._seq), item))
-        self._dispatch()
+        if self._getters:
+            self._dispatch()
+
+    def get(self) -> SimEvent:
+        ev = SimEvent.__new__(SimEvent)
+        ev.sim = self.sim
+        ev.callbacks = []
+        ev._value = PENDING
+        ev._ok = None
+        ev.name = self._get_name
+        self._getters.append(ev)
+        if self._heap:
+            self._dispatch()
+        return ev
 
     def try_get(self) -> Any:
         if self._heap and not self._getters:

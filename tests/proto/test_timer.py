@@ -1,0 +1,113 @@
+"""RetransmitTimer regression tests: cancellation storms stay O(1).
+
+The serving workload arms and defuses retransmission timers once per
+window round-trip — thousands of times per run, with almost no real
+timeouts.  These tests pin the Kernel v3 contract for that regime: a
+window that is always acked before its deadline produces *zero* stale
+fires (the wheel cancellation removes the pop before it reaches the
+event loop) and bounded counter growth (one scheduled timer and one
+cancellation per burst, regardless of how many records each burst
+arms).
+"""
+
+from repro.perf import KERNEL_COUNTERS
+from repro.proto.timer import RetransmitTimer
+from repro.proto.window import NEVER, SendWindow
+from repro.sim import Simulator
+
+
+class _Record:
+    __slots__ = ("seq", "deadline")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.deadline = NEVER
+
+
+def test_cancellation_storm_zero_stale_fires_and_bounded_counters():
+    """200 bursts of 4 records, all acked before the 400 µs deadline."""
+    sim = Simulator()
+    window = SendWindow()
+    expired = []
+    timer = RetransmitTimer(sim, 400.0, window, expired.append)
+    bursts, burst_size = 200, 4
+
+    def driver():
+        seq = 0
+        for _ in range(bursts):
+            records = [_Record(seq + i) for i in range(burst_size)]
+            seq += burst_size
+            for record in records:
+                window.add(record)
+                timer.arm(record)
+            # The cumulative ack lands well before the deadline.
+            yield sim.timeout(100.0)
+            for record in records:
+                window.pop(record.seq)
+            timer.defuse()
+
+    KERNEL_COUNTERS.reset()
+    sim.process(driver())
+    sim.run()
+    snap = KERNEL_COUNTERS.snapshot()
+
+    assert expired == []
+    assert timer.idle
+    # Zero stale pops: every would-be fire was cancelled in the wheel.
+    assert snap["timer_fires"] == 0
+    assert snap["timer_stale_fires"] == 0
+    # Bounded heap traffic: one schedule + one cancel per burst, however
+    # many records the burst armed (the lazy per-window design), and
+    # every cancelled timer died inside the wheel.
+    assert snap["timers_armed"] == bursts * burst_size
+    assert snap["timers_scheduled"] == bursts
+    assert snap["timers_cancelled"] == bursts
+    assert snap["wheel_cancelled"] >= bursts
+
+
+def test_real_timeout_still_fires_after_storm():
+    """Defusing never disarms a window that still has unacked records."""
+    sim = Simulator()
+    window = SendWindow()
+    expired = []
+    timer = RetransmitTimer(sim, 400.0, window, expired.append)
+
+    def driver():
+        # A churn of acked records first...
+        for seq in range(50):
+            record = _Record(seq)
+            window.add(record)
+            timer.arm(record)
+            yield sim.timeout(10.0)
+            window.pop(record.seq)
+            timer.defuse()
+        # ...then one record nobody acks.
+        lost = _Record(1000)
+        window.add(lost)
+        timer.arm(lost)
+        yield sim.timeout(1000.0)
+
+    KERNEL_COUNTERS.reset()
+    sim.process(driver())
+    sim.run()
+
+    assert [record.seq for record in expired] == [1000]
+    assert expired[0].deadline == NEVER  # swept until explicitly re-armed
+    assert KERNEL_COUNTERS.timer_stale_fires == 0
+
+
+def test_defuse_is_a_noop_with_records_outstanding():
+    sim = Simulator()
+    window = SendWindow()
+    timer = RetransmitTimer(sim, 400.0, window, lambda record: None)
+
+    def driver():
+        record = _Record(0)
+        window.add(record)
+        timer.arm(record)
+        yield sim.timeout(1.0)
+        timer.defuse()  # records remain: must not cancel
+        assert not timer.idle
+
+    sim.process(driver())
+    sim.run(until=2.0)

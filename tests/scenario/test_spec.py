@@ -12,6 +12,7 @@ from repro.scenario import (
     QUICK_SIZES,
     MeasurementSpec,
     ScenarioSpec,
+    TrafficSpec,
     WorkloadSpec,
 )
 
@@ -207,3 +208,70 @@ def test_quick_sizes_are_subsets_of_the_paper_sweeps():
     assert set(QUICK_SIZES["mpi_bcast"]) <= set(MPI_SIZES)
     for sizes in QUICK_SIZES.values():
         assert sizes == sorted(sizes)
+
+
+# -- TrafficSpec (serving workloads) ---------------------------------------
+
+def serving_spec_dict() -> dict:
+    return {
+        "workload": {"kind": "serving"},
+        "cluster": {"n_nodes": 8, "seed": 3},
+        "traffic": {
+            "duration_us": 5000.0,
+            "n_groups": 2,
+            "group_size": 3,
+            "rate_per_group": 0.002,
+            "sizes": [1024, 4096],
+            "schemes": ["nic_based", "host_based"],
+            "churn_interval_us": 1000.0,
+            "warmup_us": 500.0,
+        },
+    }
+
+
+def test_traffic_spec_unknown_key_rejected():
+    with pytest.raises(ConfigError, match="traffic spec"):
+        TrafficSpec.from_dict({"duration_us": 100.0, "rte_per_group": 0.1})
+
+
+def test_serving_scenario_round_trips_through_json():
+    import json
+
+    spec = ScenarioSpec.from_dict(serving_spec_dict())
+    again = ScenarioSpec.from_json(json.dumps(spec.to_dict()))
+    assert again == spec
+    assert again.traffic.schemes == ("nic_based", "host_based")
+
+
+def test_serving_scenario_requires_traffic_section():
+    payload = serving_spec_dict()
+    del payload["traffic"]
+    with pytest.raises(ConfigError, match="traffic"):
+        ScenarioSpec.from_dict(payload)
+
+
+def test_traffic_section_requires_serving_kind():
+    payload = serving_spec_dict()
+    payload["workload"] = {"kind": "unicast"}
+    with pytest.raises(ConfigError, match="serving"):
+        ScenarioSpec.from_dict(payload)
+
+
+@pytest.mark.parametrize(
+    "overrides, match",
+    [
+        ({"duration_us": 0.0}, "duration_us"),
+        ({"n_groups": 0}, "n_groups"),
+        ({"rate_per_group": 0.0}, "rate_per_group"),
+        ({"sizes": []}, "at least one message size"),
+        ({"schemes": ["warp_drive"]}, "warp_drive"),
+        ({"schemes": ["fmmc"]}, "sustained"),
+        ({"churn_interval_us": -1.0}, "churn_interval_us"),
+        ({"warmup_us": 5000.0}, "warmup_us"),
+    ],
+)
+def test_traffic_spec_validation_errors(overrides, match):
+    payload = serving_spec_dict()["traffic"]
+    payload.update(overrides)
+    with pytest.raises(ConfigError, match=match):
+        TrafficSpec.from_dict(payload)

@@ -17,8 +17,13 @@ Three rules are load-bearing enough to gate CI on:
 * ``repro.scenario`` sits between the protocol engines and the
   experiment harness: it may import anything below it but never
   ``repro.experiments`` or ``repro.obs``, and only ``repro.scenario``,
-  ``repro.experiments``, and ``repro.perf`` may import it back (the
-  engines stay spec-agnostic).
+  ``repro.workload``, ``repro.experiments``, and ``repro.perf`` may
+  import it back (the engines stay spec-agnostic);
+* ``repro.workload`` (sustained-traffic generators) sits just above the
+  scenario layer: it may import the engines and ``repro.scenario`` (it
+  registers its runner with the harness on import) but never
+  ``repro.experiments`` or ``repro.obs``, and only ``repro.workload``,
+  ``repro.experiments``, and ``repro.perf`` may import it back.
 
 Imports guarded by ``if TYPE_CHECKING:`` are ignored — annotations may
 name types from anywhere without creating a runtime dependency.
@@ -63,12 +68,30 @@ ALLOWED = {
         "repro.trees",
         "repro.perf",
     ),
+    "workload": (
+        "repro.workload",
+        "repro.scenario",
+        "repro.cluster",
+        "repro.config",
+        "repro.errors",
+        "repro.gm",
+        "repro.host",
+        "repro.mcast",
+        "repro.net",
+        "repro.nic",
+        "repro.proto",
+        "repro.sim",
+        "repro.trees",
+        "repro.perf",
+    ),
 }
 
 #: Packages (and top-level modules) allowed to import ``repro.obs``.
 OBS_IMPORTERS = ("obs", "experiments", "perf")
 #: Packages (and top-level modules) allowed to import ``repro.scenario``.
-SCENARIO_IMPORTERS = ("scenario", "experiments", "perf")
+SCENARIO_IMPORTERS = ("scenario", "workload", "experiments", "perf")
+#: Packages (and top-level modules) allowed to import ``repro.workload``.
+WORKLOAD_IMPORTERS = ("workload", "experiments", "perf")
 
 
 def check_back_edges(
@@ -102,6 +125,12 @@ def check_obs_back_edges() -> list[str]:
 def check_scenario_back_edges() -> list[str]:
     return check_back_edges(
         "scenario", SCENARIO_IMPORTERS, "engines stay spec-agnostic"
+    )
+
+
+def check_workload_back_edges() -> list[str]:
+    return check_back_edges(
+        "workload", WORKLOAD_IMPORTERS, "runners register via the harness"
     )
 
 
@@ -174,6 +203,7 @@ def main() -> int:
         violations.extend(check_package(package, allowed))
     violations.extend(check_obs_back_edges())
     violations.extend(check_scenario_back_edges())
+    violations.extend(check_workload_back_edges())
     if violations:
         print("import layering violations:", file=sys.stderr)
         for v in violations:
@@ -181,7 +211,7 @@ def main() -> int:
         return 1
     print(
         f"layering clean: {', '.join(ALLOWED)} respect their bounds; "
-        "no repro.obs or repro.scenario back-edges"
+        "no repro.obs, repro.scenario, or repro.workload back-edges"
     )
     return 0
 
