@@ -8,11 +8,17 @@
 The cluster owns the simulator, topology, network, and nodes, opens GM
 port 0 on every node, and preposts receive tokens so experiments start
 from the paper's steady state.
+
+Partitioned execution (:mod:`repro.sim.parallel`) builds one cluster per
+shard with ``local_nodes`` restricted to that shard: the topology is
+replicated everywhere (routes must be derivable on any shard), but only
+local NICs get :class:`~repro.host.node.Node` state, GM ports, and
+network sinks — remote slots stay ``None``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Iterable
 
 from repro.config import ClusterConfig
 from repro.gm.api import GMPort
@@ -25,59 +31,89 @@ from repro.sim.engine import Simulator
 from repro.sim.events import SimEvent
 from repro.sim.process import Process
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "build_topology"]
+
+
+def build_topology(sim: Simulator, cfg: ClusterConfig) -> Topology:
+    """The fabric a :class:`ClusterConfig` describes, on *sim*.
+
+    Module-level so the partition planner can build a scratch replica
+    (for shard assignment and lookahead) without paying for nodes,
+    ports, or prepost tokens.
+    """
+    cost = cfg.cost
+    args = (
+        sim,
+        cfg.n_nodes,
+        cost.wire_bandwidth,
+        cost.link_latency,
+        cost.switch_hop_latency,
+    )
+    if cfg.topology == "single":
+        return single_switch(*args)
+    if cfg.topology == "clos":
+        return clos(*args, radix=cfg.clos_radix)
+    return line(*args)
 
 
 class Cluster:
-    """A complete simulated system."""
+    """A complete simulated system (or one shard of one)."""
 
     def __init__(
-        self, config: ClusterConfig | None = None, loss: LossModel | None = None
+        self,
+        config: ClusterConfig | None = None,
+        loss: LossModel | None = None,
+        local_nodes: Iterable[int] | None = None,
     ):
         self.config = config or ClusterConfig()
         cfg = self.config
         self.cost = cfg.cost
         self.sim = Simulator(seed=cfg.seed, trace=cfg.trace)
-        self.topology = self._build_topology()
+        self.topology = build_topology(self.sim, cfg)
         if loss is None and cfg.loss is not None:
             # The declarative spec in the config (serializable scenarios);
             # an explicit model argument wins (tests with ScriptedLoss).
             loss = cfg.loss.build()
         self.network = Network(self.sim, self.topology, loss=loss)
-        self.nodes: list[Node] = [
-            Node(self.sim, i, cfg.cost, self.network) for i in range(cfg.n_nodes)
+        self._local: frozenset[int] | None = (
+            None if local_nodes is None else frozenset(local_nodes)
+        )
+        self.nodes: list[Node | None] = [
+            Node(self.sim, i, cfg.cost, self.network)
+            if self._local is None or i in self._local
+            else None
+            for i in range(cfg.n_nodes)
         ]
-        self.ports: list[GMPort] = [node.open_port(0) for node in self.nodes]
+        self.ports: list[GMPort | None] = [
+            node.open_port(0) if node is not None else None
+            for node in self.nodes
+        ]
         for port in self.ports:
+            if port is None:
+                continue
             for _ in range(cfg.prepost_recv_tokens):
                 port._recv_tokens.append(ReceiveToken(port.port_num))
-
-    def _build_topology(self) -> Topology:
-        cfg = self.config
-        cost = cfg.cost
-        args = (
-            self.sim,
-            cfg.n_nodes,
-            cost.wire_bandwidth,
-            cost.link_latency,
-            cost.switch_hop_latency,
-        )
-        if cfg.topology == "single":
-            return single_switch(*args)
-        if cfg.topology == "clos":
-            return clos(*args, radix=cfg.clos_radix)
-        return line(*args)
 
     # -- convenience ----------------------------------------------------------
     @property
     def n_nodes(self) -> int:
         return self.config.n_nodes
 
+    def is_local(self, i: int) -> bool:
+        """Whether node *i* has state on this (shard of a) cluster."""
+        return self._local is None or i in self._local
+
     def node(self, i: int) -> Node:
-        return self.nodes[i]
+        node = self.nodes[i]
+        if node is None:
+            raise LookupError(f"node {i} lives on another shard")
+        return node
 
     def port(self, i: int) -> GMPort:
-        return self.ports[i]
+        port = self.ports[i]
+        if port is None:
+            raise LookupError(f"node {i} lives on another shard")
+        return port
 
     def spawn(
         self, generator: Generator, name: str | None = None
@@ -88,10 +124,11 @@ class Cluster:
     def spawn_on_all(
         self, make_program: Callable[[Node], Generator]
     ) -> list[Process]:
-        """One process per node, built by ``make_program(node)``."""
+        """One process per (local) node, built by ``make_program(node)``."""
         return [
             self.spawn(make_program(node), name=f"prog[{node.id}]")
             for node in self.nodes
+            if node is not None
         ]
 
     def run(self, until: float | SimEvent | None = None) -> Any:

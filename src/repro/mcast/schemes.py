@@ -234,9 +234,14 @@ class NicBasedScheme(BoundScheme):
     def install(self) -> None:
         from repro.mcast.manager import install_group, next_group_id
 
+        # Partitioned runs pre-pin group_id (every shard must agree on
+        # the id stamped into packets) but still need the local group
+        # tables installed — install_group always runs; only id
+        # allocation is guarded.  install_group_now is an idempotent
+        # table write, so re-installation is harmless.
         if self.group_id is None:
             self.group_id = next_group_id()
-            install_group(self.cluster, self.group_id, self.tree, self.port_num)
+        install_group(self.cluster, self.group_id, self.tree, self.port_num)
 
     def post(self, size: int, info: dict | None = None) -> Generator:
         root = self.tree.root
@@ -281,7 +286,7 @@ class NicAssistedScheme(BoundScheme):
         from repro.mcast.nic_assisted import NicAssistedEngine
 
         for node in self.cluster.nodes:
-            if not hasattr(node, "nic_assisted"):
+            if node is not None and not hasattr(node, "nic_assisted"):
                 node.nic_assisted = NicAssistedEngine(node)
 
     def post(self, size: int, info: dict | None = None) -> Generator:

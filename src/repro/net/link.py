@@ -53,6 +53,10 @@ class Link:
         #: Cumulative bytes serialized (utilization accounting).
         self.bytes_carried = 0
         self.packets_carried = 0
+        #: Owning shard id under a :class:`repro.sim.parallel.PartitionPlan`
+        #: (``None`` when unpartitioned).  All contention state for this
+        #: link lives on the owner; replicas on other shards stay idle.
+        self.owner: int | None = None
 
     def serialization_time(self, packet: "Packet") -> float:
         return packet.wire_size / self.bandwidth

@@ -59,6 +59,12 @@ class Topology:
         self._links: dict[tuple, Link] = {}
         self._route_cache: dict[tuple[int, int], list[Link]] = {}
         self._latency_cache: dict[tuple[int, int], float] = {}
+        #: Bumped on every wiring change (:meth:`cable`).  Derived caches
+        #: outside this class — e.g. the partition planner's cut-edge
+        #: scan (:mod:`repro.sim.parallel`) — key on it so repeated
+        #: lookahead computations are O(cut), re-scanned only after the
+        #: fabric actually changes.
+        self.version = 0
         for i in range(n_nodes):
             self.graph.add_node((_NIC, i))
 
@@ -77,6 +83,11 @@ class Topology:
         if self.graph.has_edge(a, b):
             raise ConfigError(f"duplicate cable {a!r} <-> {b!r}")
         self.graph.add_edge(a, b)
+        # A new cable can shorten existing shortest paths: memoized
+        # routes and latency sums are stale the moment the graph grows.
+        self._route_cache.clear()
+        self._latency_cache.clear()
+        self.version += 1
         for u, v in ((a, b), (b, a)):
             # A link terminating at a switch pays that switch's routing
             # (head-arbitration) delay on top of cable propagation.

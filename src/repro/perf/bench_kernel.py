@@ -28,6 +28,7 @@ from the repo root).  Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import importlib
 import json
 import os
@@ -94,6 +95,7 @@ def bench_event_loop(
         wall = time.perf_counter() - started
         return KERNEL_COUNTERS.events, wall
 
+    gc.collect()  # GC-isolate from whatever ran earlier in-process
     one_pass(min(n_events, 20_000))  # warmup, untimed
     passes = [one_pass(n_events) for _ in range(max(1, repeats))]
     rates = [round(ev / wall) for ev, wall in passes if wall > 0]
@@ -221,11 +223,17 @@ def bench_figure(
     not a speed claim) but the wall-clock comparison is meaningless —
     workers just time-slice one core — so ``speedup`` is nulled and the
     report carries ``"parallel_comparison": "skipped-1cpu"`` instead of
-    a noise figure.
+    a noise figure.  On a multi-core host the comparison is real and
+    marked ``"measured"``; *jobs* is floored at 2 there, because a
+    one-worker "pool" would silently compare serial against itself and
+    report 1.0x noise as if it meant something.
     """
     module = importlib.import_module(FIGURES[figure_id])
     cpus = os.cpu_count() or 1
+    if cpus > 1 and jobs < 2:
+        jobs = 2
 
+    gc.collect()  # GC-isolate from whatever ran earlier in-process
     KERNEL_COUNTERS.reset()
     started = time.perf_counter()
     serial = module.run(quick=quick, jobs=1)
@@ -249,6 +257,8 @@ def bench_figure(
     if cpus == 1:
         result["speedup"] = None
         result["parallel_comparison"] = "skipped-1cpu"
+    else:
+        result["parallel_comparison"] = "measured"
     return result
 
 
@@ -260,6 +270,7 @@ def run_bench(
     smoke: bool = False,
 ) -> dict[str, Any]:
     """Run the full benchmark and return the report dict."""
+    from repro.perf.bench_parallel import bench_parallel
     from repro.perf.bench_serving import bench_serving
 
     jobs = jobs if jobs is not None else default_jobs()
@@ -270,6 +281,7 @@ def run_bench(
         "quick": quick,
         "kernel": bench_event_loop(loop_events),
         "serving": bench_serving(repeats=3, smoke=smoke),
+        "parallel": bench_parallel(repeats=3, smoke=smoke),
         "timers": bench_timer_churn(),
         "figures": {},
     }

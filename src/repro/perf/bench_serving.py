@@ -17,6 +17,7 @@ noise-robust choice on shared runners.
 
 from __future__ import annotations
 
+import gc
 import time
 from statistics import median
 from typing import Any
@@ -91,6 +92,10 @@ def bench_serving(repeats: int = 3, smoke: bool = False) -> dict[str, Any]:
         wall = time.perf_counter() - started
         return result.values[0], KERNEL_COUNTERS.events, wall
 
+    # Full collection first: survivors a previous bench left in the
+    # young GC generations make every collection during the timed run
+    # re-scan them (measured -25% on this bench after the kernel pump).
+    gc.collect()
     one_pass(serving_spec(smoke=True))  # warmup, untimed
     spec = serving_spec(smoke=smoke)
     passes = [one_pass(spec) for _ in range(max(1, repeats))]

@@ -1,0 +1,215 @@
+"""Partitioned scenario execution: spec-driven sharded runs.
+
+Glue between the declarative layer and the conservative-parallel kernel
+(:mod:`repro.sim.parallel`): build a :class:`PartitionPlan` from a
+scenario's cluster config, construct one shard-local
+:class:`~repro.cluster.Cluster` per shard, spawn each measurement
+program on the shard owning its node, and drive everything through the
+safe-window conductor — in-process, or one OS process per shard when
+the spec says ``processes: true``.
+
+The measurement programs here are line-for-line the serial harness
+templates (:class:`repro.scenario.harness.Harness`): partitioned points
+must reproduce serial values exactly, so the only differences are
+*where* a program is spawned and that the multicast group id is pinned
+(every shard must stamp the same id into packets, so the id cannot come
+from the process-global allocator mid-run).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.cluster import Cluster, build_topology
+from repro.mcast.schemes import create_scheme, resolve_scheme
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.engine import Simulator
+from repro.sim.parallel import (
+    PartitionPlan,
+    ShardSet,
+    run_sharded_processes,
+)
+from repro.trees import build_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.harness import Harness
+
+__all__ = [
+    "PINNED_GROUP_ID",
+    "build_shard",
+    "make_plan",
+    "run_point_partitioned",
+]
+
+#: The group id partitioned single-group workloads install everywhere.
+#: Shards allocate ids independently, so a pinned value is the only way
+#: every shard's group table agrees with the ids stamped into packets.
+PINNED_GROUP_ID = 1
+
+
+def make_plan(spec: ScenarioSpec) -> PartitionPlan:
+    """The spec's partition plan, from a scratch topology replica."""
+    if spec.partition is None:
+        raise ValueError("scenario spec has no partition section")
+    topo = build_topology(Simulator(), spec.cluster)
+    p = spec.partition
+    return PartitionPlan.from_topology(
+        topo, p.shards, partitioner=p.partitioner, seed=p.seed
+    )
+
+
+def build_shard(
+    spec: ScenarioSpec,
+    plan: PartitionPlan,
+    shard_id: int,
+    registry: Any = None,
+) -> Cluster:
+    """Shard *shard_id*'s cluster: local nodes only, links ownership-stamped."""
+    cluster = Cluster(spec.cluster, local_nodes=plan.shard_nodes(shard_id))
+    plan.bind(cluster.topology)
+    if registry is not None:
+        cluster.sim.metrics = registry
+    return cluster
+
+
+class _PointShard:
+    """One shard of a unicast/multisend measurement point.
+
+    Doubles as the process-mode shard object: ``sim``/``network`` feed
+    the conductor, ``result()`` returns the picklable per-shard lists.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        plan: PartitionPlan,
+        shard_id: int,
+        size: int,
+        registry: Any = None,
+    ):
+        cluster = build_shard(spec, plan, shard_id, registry)
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.network = cluster.network
+        self.starts: list[float] = []
+        self.deliveries: list[float] = []
+        self.durations: list[float] = []
+        kind = spec.workload.kind
+        if kind == "unicast":
+            self._setup_unicast(spec, size)
+        elif kind == "multisend":
+            self._setup_multisend(spec, size)
+        else:  # pragma: no cover - guarded by PartitionSpec validation
+            raise ValueError(f"kind {kind!r} has no partitioned point runner")
+
+    # The program bodies below mirror Harness._run_unicast /
+    # Harness._run_multisend exactly; see the module docstring.
+    def _setup_unicast(self, spec: ScenarioSpec, size: int) -> None:
+        cluster = self.cluster
+        iterations = spec.measurement.iterations
+        src = spec.workload.root
+        dst = spec.destinations()[0]
+
+        def receiver() -> Generator:
+            port = cluster.port(dst)
+            for _ in range(iterations):
+                yield from port.receive()
+                self.deliveries.append(cluster.now)
+                yield from port.provide_receive_buffer()
+
+        def sender() -> Generator:
+            port = cluster.port(src)
+            for _ in range(iterations):
+                self.starts.append(cluster.now)
+                handle = yield from port.send(dst, size)
+                yield handle.done
+
+        if cluster.is_local(src):
+            cluster.spawn(sender())
+        if cluster.is_local(dst):
+            cluster.spawn(receiver())
+
+    def _setup_multisend(self, spec: ScenarioSpec, size: int) -> None:
+        cluster = self.cluster
+        dests = spec.destinations()
+        tree = build_tree(
+            spec.workload.root, dests,
+            shape=spec.workload.tree_shape or "flat",
+        )
+        warmup = spec.measurement.warmup
+        total = warmup + spec.measurement.iterations
+
+        # Every shard installs the same pinned group id into its local
+        # members' tables (install_group skips remote nodes); only the
+        # root's shard drives sends through the bound scheme.
+        bound = create_scheme(
+            resolve_scheme(spec.workload.scheme, context="multisend"),
+            cluster, tree,
+        )
+        bound.group_id = PINNED_GROUP_ID
+        bound.install()
+
+        def root() -> Generator:
+            for it in range(total):
+                start = cluster.now
+                yield from bound.send(size)
+                if it >= warmup:
+                    self.durations.append(cluster.now - start)
+
+        def receiver(i: int) -> Generator:
+            port = cluster.port(i)
+            for _ in range(total):
+                yield from port.receive()
+                yield from port.provide_receive_buffer()
+
+        if cluster.is_local(spec.workload.root):
+            cluster.spawn(root())
+        for i in dests:
+            if cluster.is_local(i):
+                cluster.spawn(receiver(i))
+
+    def result(self) -> dict[str, list[float]]:
+        return {
+            "starts": self.starts,
+            "deliveries": self.deliveries,
+            "durations": self.durations,
+        }
+
+
+def _point_factory(shard_id: int, spec_json: str, size: int) -> _PointShard:
+    """Process-mode shard builder (module-level: must pickle)."""
+    spec = ScenarioSpec.from_json(spec_json)
+    return _PointShard(spec, make_plan(spec), shard_id, size)
+
+
+def _merge_point(kind: str, results: list[dict[str, list[float]]]) -> float:
+    """The point's serial-identical value from the per-shard lists."""
+    if kind == "unicast":
+        starts = sorted(t for r in results for t in r["starts"])
+        deliveries = sorted(t for r in results for t in r["deliveries"])
+        return mean(d - t0 for d, t0 in zip(deliveries, starts))
+    durations = [d for r in results for d in r["durations"]]
+    return mean(durations)
+
+
+def run_point_partitioned(harness: "Harness", size: int) -> float:
+    """One partitioned unicast/multisend point, serial-identical value."""
+    spec = harness.spec
+    plan = make_plan(spec)
+    kind = spec.workload.kind
+    if spec.partition.processes:
+        results = run_sharded_processes(
+            _point_factory, (spec.to_json(), size), plan
+        )
+        return _merge_point(kind, results)
+    shards = [
+        _PointShard(spec, plan, sid, size, registry=harness.registry)
+        for sid in range(plan.n_shards)
+    ]
+    ShardSet(
+        plan,
+        [s.sim for s in shards],
+        [s.network for s in shards],
+    ).run()
+    return _merge_point(kind, [s.result() for s in shards])

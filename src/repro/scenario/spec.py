@@ -35,6 +35,8 @@ __all__ = [
     "WorkloadSpec",
     "MeasurementSpec",
     "TrafficSpec",
+    "PartitionSpec",
+    "PARTITIONABLE_KINDS",
     "ARRIVAL_KINDS",
     "WORKLOAD_KINDS",
     "METRIC_BY_KIND",
@@ -72,6 +74,13 @@ WORKLOAD_KINDS = (
     "unicast", "multisend", "multicast", "mpi_bcast", "mpi_skew",
     "serving",
 )
+
+#: Workload kinds the sharded kernel (:mod:`repro.sim.parallel`) can
+#: decompose.  The others coordinate through host-side state that is
+#: global by construction — the multicast kinds share a per-round
+#: completion event across all receivers, and churn rewrites group
+#: membership on arbitrary shards mid-run.
+PARTITIONABLE_KINDS = ("unicast", "multisend", "serving")
 
 #: Arrival processes a :class:`TrafficSpec` can declare.
 ARRIVAL_KINDS = ("poisson", "trace")
@@ -390,6 +399,56 @@ class TrafficSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """Sharded-kernel execution request (:mod:`repro.sim.parallel`).
+
+    ``shards`` simulators run the scenario conservatively in parallel;
+    ``partitioner`` assigns nodes to shards (``"contiguous"`` id ranges
+    or ``"switch_affine"``, which keeps each leaf switch's NICs
+    together — fewer cut links, so less handoff traffic); ``seed``
+    deterministically varies the switch-affine placement order.
+    ``processes`` picks one-OS-process-per-shard execution over the
+    in-process conductor (identical results; the in-process form is the
+    determinism reference and the cheaper choice for small shard
+    counts).
+    """
+
+    shards: int = 2
+    partitioner: str = "switch_affine"
+    seed: int = 0
+    processes: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.sim.parallel import PARTITIONERS
+
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.partitioner not in PARTITIONERS:
+            raise ConfigError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"pick one of {PARTITIONERS}"
+            )
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "shards": self.shards,
+            "partitioner": self.partitioner,
+        }
+        if self.seed:
+            out["seed"] = self.seed
+        if self.processes:
+            out["processes"] = self.processes
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PartitionSpec":
+        _unknown_keys(data, cls, "partition spec")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, serializable experiment scenario."""
 
@@ -397,6 +456,7 @@ class ScenarioSpec:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     traffic: TrafficSpec | None = None
+    partition: PartitionSpec | None = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -435,6 +495,27 @@ class ScenarioSpec:
             raise ConfigError(
                 "a 'traffic' section requires workload kind 'serving'"
             )
+        p = self.partition
+        if p is not None:
+            if w.kind not in PARTITIONABLE_KINDS:
+                raise ConfigError(
+                    f"workload kind {w.kind!r} cannot run partitioned "
+                    f"(decomposable kinds: {PARTITIONABLE_KINDS})"
+                )
+            if (
+                w.kind == "serving"
+                and self.traffic is not None
+                and self.traffic.churn_interval_us
+            ):
+                raise ConfigError(
+                    "membership churn cannot run partitioned (churn "
+                    "rewrites group tables across shard boundaries)"
+                )
+            if p.shards > n:
+                raise ConfigError(
+                    f"{p.shards} shards cannot all be non-empty with "
+                    f"{n} nodes"
+                )
 
     @property
     def metric(self) -> str:
@@ -458,6 +539,8 @@ class ScenarioSpec:
         out["measurement"] = self.measurement.to_dict()
         if self.traffic is not None:
             out["traffic"] = self.traffic.to_dict()
+        if self.partition is not None:
+            out["partition"] = self.partition.to_dict()
         return out
 
     @classmethod
@@ -476,6 +559,8 @@ class ScenarioSpec:
             )
         if data.get("traffic") is not None:
             kwargs["traffic"] = TrafficSpec.from_dict(data["traffic"])
+        if data.get("partition") is not None:
+            kwargs["partition"] = PartitionSpec.from_dict(data["partition"])
         if "name" in data:
             kwargs["name"] = data["name"]
         return cls(**kwargs)

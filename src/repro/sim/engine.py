@@ -619,6 +619,46 @@ class Simulator:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"run(until={horizon}) is in the past")
+        self._run_bounded(horizon, inclusive=True)
+        self._now = max(self._now, horizon)
+        return None
+
+    def run_window(self, horizon: float) -> None:
+        """Process every event strictly *before* `horizon`, then stop.
+
+        The conservative-parallel primitive (:mod:`repro.sim.parallel`):
+        a shard granted the safe window ``[now, horizon)`` runs exactly
+        the events inside it.  Unlike :meth:`run` with a float ``until``,
+        events scheduled *at* `horizon` are left queued and the clock is
+        **not** advanced to the horizon — cross-shard messages arriving
+        at ``t >= horizon`` can still be heap-scheduled afterwards
+        (``schedule_callback`` requires ``when >= now``), and they sort
+        ahead of nothing they could have caused.
+        """
+        if horizon < self._now:
+            raise ValueError(
+                f"run_window({horizon}) is in the past (now={self._now})"
+            )
+        self._run_bounded(horizon, inclusive=False)
+
+    def _run_bounded(self, horizon: float, inclusive: bool) -> None:
+        """Fused run loop shared by ``run(until=float)`` and ``run_window``.
+
+        ``inclusive`` selects whether events exactly at the horizon are
+        processed (``run``) or left queued (``run_window``).
+        """
+        heap = self._heap
+        q = self._now_q
+        uq = self._now_uq
+        pop = heapq.heappop
+        popleft = q.popleft
+        upopleft = uq.popleft
+        cb_cls = _Callback
+        freelist = self._cb_freelist
+        strict = not inclusive
+        n = 0
+        nb = 0
+        now_val = self._now
         try:
             while True:
                 if uq:
@@ -639,7 +679,7 @@ class Simulator:
                     if wnext <= when and wnext <= horizon:
                         self._flush_wheel(when if when < horizon else horizon)
                         continue
-                    if when > horizon:
+                    if when > horizon or (strict and when == horizon):
                         break
                     when, _p, _s, event = pop(heap)
                     self._now = now_val = when
@@ -670,5 +710,3 @@ class Simulator:
             self.events_processed += n
             KERNEL_COUNTERS.events += n
             KERNEL_COUNTERS.batched_events += nb
-        self._now = max(self._now, horizon)
-        return None

@@ -150,12 +150,23 @@ class _Group:
 class TrafficEngine:
     """Runs one serving scenario (spec kind ``"serving"``) to completion."""
 
-    def __init__(self, spec: "ScenarioSpec", registry: Any = None):
+    def __init__(
+        self,
+        spec: "ScenarioSpec",
+        registry: Any = None,
+        cluster: Cluster | None = None,
+    ):
         if spec.traffic is None:
             raise ValueError("TrafficEngine needs a spec with traffic")
         self.spec = spec
         self.traffic: "TrafficSpec" = spec.traffic
-        self.cluster = Cluster(spec.cluster)
+        # Partitioned runs inject a shard-local cluster (remote nodes
+        # are None slots) and pin group ids: shards allocate from
+        # independent process-global counters, so the id stamped into a
+        # packet must be derivable from the group index alone for every
+        # shard's table to agree.
+        self.cluster = cluster if cluster is not None else Cluster(spec.cluster)
+        self._pin_group_ids = cluster is not None
         if registry is not None:
             self.cluster.sim.metrics = registry
         t = self.traffic
@@ -193,6 +204,8 @@ class TrafficEngine:
                 group.root, group.members, shape=scheme_spec.default_tree
             )
         group.bound = create_scheme(group.scheme_key, self.cluster, tree)
+        if self._pin_group_ids:
+            group.bound.group_id = group.index + 1
         group.bound.install()
 
     def _apply_churn(self, group: _Group) -> None:
@@ -311,25 +324,37 @@ class TrafficEngine:
                 m.inc("serving.churn_scheduled")
 
     # -- run ---------------------------------------------------------------
-    def run(self) -> ServingStats:
+    def start(self) -> None:
+        """Bind every group and spawn every (locally present) program.
+
+        On a full cluster this spawns everything; on a partitioned shard
+        ``is_local`` filters programs to the nodes this shard owns (the
+        arrival RNG streams are named per group, so a root draws the
+        same schedule whichever shard it runs on).
+        """
         t = self.traffic
         cluster = self.cluster
         for group in self.groups:
             self._bind(group, t.sizes[0])
         for group in self.groups:
-            cluster.spawn(
-                self._root_prog(group), name=f"serving_root[{group.index}]"
-            )
+            if cluster.is_local(group.root):
+                cluster.spawn(
+                    self._root_prog(group),
+                    name=f"serving_root[{group.index}]",
+                )
         for node_id in range(cluster.n_nodes):
-            cluster.spawn(
-                self._member_prog(node_id), name=f"serving_rx[{node_id}]"
-            )
+            if cluster.is_local(node_id):
+                cluster.spawn(
+                    self._member_prog(node_id), name=f"serving_rx[{node_id}]"
+                )
         if t.churn_interval_us:
             cluster.spawn(self._churn_prog(), name="serving_churn")
-        cluster.run(until=t.duration_us)
+
+    def finalize(self) -> ServingStats:
+        """Stamp the end-of-run stats (after the clock reached duration)."""
         stats = self.stats
-        stats.sim_events = cluster.sim.events_processed
-        m = cluster.sim.metrics
+        stats.sim_events = self.cluster.sim.events_processed
+        m = self.cluster.sim.metrics
         if m is not None:
             # Simulated-time rates only: wall-clock numbers would break
             # the pinned-seed determinism of the metrics snapshot.
@@ -339,6 +364,11 @@ class TrafficEngine:
             m.set_gauge("serving.sim_events_per_us", stats.sim_events_per_us)
         return stats
 
+    def run(self) -> ServingStats:
+        self.start()
+        self.cluster.run(until=self.traffic.duration_us)
+        return self.finalize()
+
 
 def run_serving(harness: "Harness") -> dict[int, ServingStats]:
     """Harness runner for workload kind ``"serving"``.
@@ -347,5 +377,13 @@ def run_serving(harness: "Harness") -> dict[int, ServingStats]:
     :mod:`repro.workload` import; returns the ``values`` mapping for the
     :class:`~repro.scenario.harness.ScenarioResult` (one run, keyed 0).
     """
+    if harness.spec.partition is not None:
+        from repro.workload.partitioned import run_serving_partitioned
+
+        return {
+            0: run_serving_partitioned(
+                harness.spec, registry=harness.registry
+            )
+        }
     stats = TrafficEngine(harness.spec, registry=harness.registry).run()
     return {0: stats}

@@ -1,0 +1,176 @@
+"""Partitioned-vs-serial determinism proofs (the PR-2/PR-6 bar).
+
+The conservative-parallel kernel must not move a single event: a
+partitioned run replays the pinned 54-record golden trace and the quick
+fig-3 table byte-identically to serial, at 2 and at 4 shards.
+
+Two workload-level accommodations, both documented in
+:mod:`repro.sim.parallel`:
+
+* the golden run's forced drop is destination-qualified here (serial
+  and partitioned alike): each shard builds its own ``ScriptedLoss``
+  instance, so a ``times=1`` budget is per-shard, and only a predicate
+  that names the victim packet fires identically everywhere.  A serial
+  run with the qualified predicate still replays the committed fixture
+  exactly (asserted first), because dst 1's copy *is* the drop the
+  unqualified predicate hits.
+* packet uids / message ids are process-global allocators, renumbered
+  by first appearance exactly as the serial golden test does.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.gm.params import GMCostModel
+from repro.mcast.manager import install_group
+from repro.net.fault import ScriptedLoss
+from repro.net.packet import PacketType
+from repro.sim.parallel import PartitionPlan, ShardSet, merge_traces
+from repro.trees import build_tree
+
+FIXTURE = Path(__file__).parent.parent / "mcast" / "golden_8node_trace.txt"
+
+N = 8
+SIZE = 4096
+
+
+def _qualified_loss():
+    """The golden drop, pinned to its victim (dst 1's seq-1 data copy)."""
+    return ScriptedLoss(
+        lambda pkt: pkt.header.ptype is PacketType.MCAST_DATA
+        and pkt.header.seq == 1
+        and pkt.dst == 1,
+        times=1,
+    )
+
+
+def _render(records):
+    renumber = {"uid": {}, "msg": {}}
+    lines = []
+    for rec in records:
+        fields = dict(rec.fields)
+        for key, seen in renumber.items():
+            if key in fields:
+                fields[key] = seen.setdefault(fields[key], len(seen))
+        rendered = ",".join(f"{k}={fields[k]!r}" for k in sorted(fields))
+        lines.append(f"{rec.time:.6f} {rec.component} {rec.category} {rendered}")
+    return lines
+
+
+def _golden_programs(cluster, tree):
+    """Spawn the golden workload's local programs on *cluster*."""
+
+    def root():
+        handle = yield from cluster.node(0).mcast.multicast_send(
+            cluster.port(0), 1, SIZE
+        )
+        yield handle.done
+
+    def member(i):
+        port = cluster.port(i)
+        yield from port.receive()
+        yield from port.provide_receive_buffer()
+
+    if cluster.is_local(0):
+        cluster.spawn(root())
+    for i in range(1, N):
+        if cluster.is_local(i):
+            cluster.spawn(member(i))
+
+
+def _serial_lines():
+    cost = GMCostModel()
+    cluster = Cluster(
+        ClusterConfig(n_nodes=N, cost=cost, seed=0, trace=True),
+        loss=_qualified_loss(),
+    )
+    tree = build_tree(0, list(range(1, N)), shape="optimal", cost=cost, size=SIZE)
+    install_group(cluster, 1, tree)
+    _golden_programs(cluster, tree)
+    cluster.run()
+    return _render(cluster.sim.trace.records)
+
+
+def _partitioned_lines(n_shards):
+    cost = GMCostModel()
+    cfg = ClusterConfig(n_nodes=N, cost=cost, seed=0, trace=True)
+    plan = PartitionPlan.from_topology(
+        Cluster(cfg).topology, n_shards, partitioner="contiguous"
+    )
+    tree = build_tree(0, list(range(1, N)), shape="optimal", cost=cost, size=SIZE)
+    shards = []
+    for sid in range(n_shards):
+        cluster = Cluster(
+            cfg, loss=_qualified_loss(), local_nodes=plan.shard_nodes(sid)
+        )
+        plan.bind(cluster.topology)
+        install_group(cluster, 1, tree)
+        _golden_programs(cluster, tree)
+        shards.append(cluster)
+    conductor = ShardSet(
+        plan, [c.sim for c in shards], [c.network for c in shards]
+    )
+    conductor.run()
+    assert conductor.messages > 0, "workload never crossed a shard boundary"
+    dropped = sum(c.network.dropped for c in shards)
+    assert dropped == 1, f"expected exactly one forced drop, got {dropped}"
+    return _render(merge_traces(c.sim for c in shards))
+
+
+def test_serial_qualified_loss_matches_fixture():
+    """The dst-qualified drop IS the fixture's drop (victim identity)."""
+    expected = FIXTURE.read_text().splitlines()
+    actual = _serial_lines()
+    for i, (want, got) in enumerate(zip(expected, actual)):
+        assert want == got, f"trace diverges at record {i}:\n-{want}\n+{got}"
+    assert len(actual) == len(expected)
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_partitioned_golden_trace_identical(n_shards):
+    expected = FIXTURE.read_text().splitlines()
+    actual = _partitioned_lines(n_shards)
+    for i, (want, got) in enumerate(zip(expected, actual)):
+        assert want == got, (
+            f"{n_shards}-shard trace diverges at record {i}:\n-{want}\n+{got}"
+        )
+    assert len(actual) == len(expected), (
+        f"trace length changed: fixture {len(expected)}, "
+        f"{n_shards}-shard run {len(actual)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Quick fig-3 table identity: every (n_dest, size, scheme) cell of the
+# quick multisend sweep, partitioned vs serial, value-for-value.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_partitioned_fig3_quick_table_identical(n_shards):
+    from dataclasses import replace
+
+    from repro.scenario.harness import Harness
+    from repro.scenario.spec import (
+        QUICK_SIZES,
+        PartitionSpec,
+        multisend_point,
+    )
+
+    for scheme in ("nb", "hb"):
+        for size in QUICK_SIZES["multisend"]:
+            spec = multisend_point(
+                n_dest=7, size=size, scheme=scheme, iterations=5, warmup=1
+            )
+            serial = Harness(spec).run().values
+            part = Harness(
+                replace(
+                    spec,
+                    partition=PartitionSpec(
+                        shards=n_shards, partitioner="contiguous"
+                    ),
+                )
+            ).run().values
+            assert part == serial, (scheme, size, n_shards, part, serial)
