@@ -25,6 +25,7 @@ from repro.gm.api import GMPort
 from repro.gm.tokens import ReceiveToken
 from repro.host.node import Node
 from repro.net.fabric import Network
+from repro.net.failure import FailureInjector
 from repro.net.fault import LossModel
 from repro.net.topology import Topology, clos, line, single_switch
 from repro.sim.engine import Simulator
@@ -75,6 +76,15 @@ class Cluster:
             # an explicit model argument wins (tests with ScriptedLoss).
             loss = cfg.loss.build()
         self.network = Network(self.sim, self.topology, loss=loss)
+        #: Topology-failure lifecycle (``None`` on the perfect fabric).
+        #: Each shard of a partitioned run builds its own replica from
+        #: the same spec and seed, so transitions land at identical
+        #: instants everywhere without cross-shard control traffic.
+        self.failures: FailureInjector | None = (
+            FailureInjector(self.sim, self.topology, cfg.failures)
+            if cfg.failures is not None and cfg.failures.kind != "none"
+            else None
+        )
         self._local: frozenset[int] | None = (
             None if local_nodes is None else frozenset(local_nodes)
         )

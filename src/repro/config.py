@@ -8,6 +8,7 @@ from typing import Any
 
 from repro.errors import ConfigError
 from repro.gm.params import GMCostModel
+from repro.net.failure import FailureSpec
 from repro.net.fault import LossSpec
 
 __all__ = [
@@ -68,6 +69,12 @@ class ClusterConfig:
         Fig. 7-style loss sweeps without an out-of-band ``Cluster(...,
         loss=)`` argument (which still works and takes precedence, for
         non-serializable models such as ``ScriptedLoss``).
+    failures:
+        Declarative topology-failure schedule
+        (:class:`~repro.net.failure.FailureSpec`); ``None`` means links
+        and switches stay up.  The cluster builds a
+        :class:`~repro.net.failure.FailureInjector` from it at
+        construction.
     extras:
         Free-form knobs for experiments.  Keys must be registered via
         :func:`register_extra_key` where they are consumed; unknown keys
@@ -82,6 +89,7 @@ class ClusterConfig:
     prepost_recv_tokens: int = 64
     clos_radix: int = 16
     loss: LossSpec | None = None
+    failures: FailureSpec | None = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -103,6 +111,12 @@ class ClusterConfig:
                 "ClusterConfig.loss takes a declarative LossSpec; pass a "
                 "live LossModel via Cluster(config, loss=...) instead"
             )
+        if self.failures is not None and not isinstance(
+            self.failures, FailureSpec
+        ):
+            raise ConfigError(
+                "ClusterConfig.failures takes a declarative FailureSpec"
+            )
         unknown = set(self.extras) - KNOWN_EXTRAS
         if unknown:
             warnings.warn(
@@ -123,9 +137,9 @@ class ClusterConfig:
                 overrides = cost_to_dict(value)
                 if overrides:
                     out["cost"] = overrides
-            elif f.name == "loss":
+            elif f.name in ("loss", "failures"):
                 if value is not None:
-                    out["loss"] = value.to_dict()
+                    out[f.name] = value.to_dict()
             elif f.name == "n_nodes" or value != getattr(default, f.name):
                 out[f.name] = value
         return out
@@ -147,6 +161,12 @@ class ClusterConfig:
             kwargs["loss"], LossSpec
         ):
             kwargs["loss"] = LossSpec.from_dict(kwargs["loss"])
+        if (
+            "failures" in kwargs
+            and kwargs["failures"] is not None
+            and not isinstance(kwargs["failures"], FailureSpec)
+        ):
+            kwargs["failures"] = FailureSpec.from_dict(kwargs["failures"])
         return cls(**kwargs)
 
 

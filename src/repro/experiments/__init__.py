@@ -17,4 +17,5 @@ FIGURES = {
     "fig5": "repro.experiments.fig5",
     "fig6": "repro.experiments.fig6",
     "fig7": "repro.experiments.fig7",
+    "fig8": "repro.experiments.fig8",
 }

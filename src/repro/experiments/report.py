@@ -130,6 +130,21 @@ def render_scenario_result(result: Any) -> str:
             ]
             for size, r in result.values.items()
         ]
+    elif hasattr(sample, "completion_us"):  # BroadcastResult
+        headers = ["size", "completion us", "delivered",
+                   "first delivery us", "last delivery us"]
+        rows = [
+            [
+                str(size),
+                f"{b.completion_us:.2f}",
+                str(len(b.deliveries)),
+                f"{min(b.deliveries.values()) - b.start_us:.2f}"
+                if b.deliveries else "-",
+                f"{max(b.deliveries.values()) - b.start_us:.2f}"
+                if b.deliveries else "-",
+            ]
+            for size, b in result.values.items()
+        ]
     elif hasattr(sample, "msgs_delivered"):  # ServingStats
         stats = sample
         head[-1:] = [

@@ -23,6 +23,8 @@ from repro.mcast.group import (
     GroupState,
     GroupTable,
     McastSendCommand,
+    ReplayCommand,
+    UpdateGroupCommand,
     _HeldMessage,
 )
 from repro.mcast.multisend import Multisend
@@ -65,6 +67,8 @@ class McastEngine:
             self.multisend._handle_mcast_send
         )
         nic.command_handlers[CreateGroupCommand] = self._handle_create_group
+        nic.command_handlers[UpdateGroupCommand] = self._handle_update_group
+        nic.command_handlers[ReplayCommand] = self._handle_replay
         nic.packet_handlers[PacketType.MCAST_DATA] = (
             self.forwarding._handle_mcast_data
         )
@@ -80,6 +84,63 @@ class McastEngine:
             self.table.remove(cmd.state.group_id)
         self.table.install(cmd.state)
         self._observe_fanout(cmd.state)
+
+    def _handle_update_group(self, cmd: UpdateGroupCommand) -> Generator:
+        """Apply a tree repair to this node's group view, in place.
+
+        Sequence state (``recv_seq``, ``next_send_seq``, per-child acks)
+        survives; only the parent/children wiring changes.  Departed
+        children stop being this node's responsibility (their records'
+        pending-ack entries are discharged); arriving children are
+        resynced from the retransmit window.
+        """
+        yield from self.nic.processing(self.cost.nic_group_lookup)
+        group = self.table.get(cmd.group_id)
+        if group is None:
+            return
+        old_parent = group.parent
+        old_children = set(group.children)
+        group.parent = cmd.parent
+        group.children = tuple(cmd.children)
+        if self.sim.trace.enabled:
+            self.sim.record(
+                self.nic.name, "group_update", group=group.group_id,
+                parent=-1 if cmd.parent is None else cmd.parent,
+                children=list(cmd.children),
+            )
+        removed = old_children - set(group.children)
+        for child in sorted(removed):
+            group.child_acked.pop(child, None)
+            for record in group.window.remove_child(child):
+                self._record_completed(group, record)
+        added = [c for c in group.children if c not in old_children]
+        for child in added:
+            group.child_acked.setdefault(child, 0)
+        if added:
+            yield from self.reliability.resync_children(group, added)
+        if group.parent is not None and group.parent != old_parent:
+            # Tell the new parent how far this subtree already got, so
+            # its resync replay stops as early as possible.
+            yield from self.reliability.send_group_ack(group)
+
+    def _handle_replay(self, cmd: ReplayCommand) -> Generator:
+        """Push the outstanding backlog to one (recovered) child now,
+        rather than waiting out the retransmission timer."""
+        yield from self.nic.processing(self.cost.nic_group_lookup)
+        group = self.table.get(cmd.group_id)
+        if group is None or cmd.child not in group.child_acked:
+            return
+        m = self.sim.metrics
+        for seq in group.window.seqs():
+            record = group.window.get(seq)
+            if record is None or cmd.child not in record.unacked:
+                continue
+            self.reliability.arm(group, record)
+            if m is not None:
+                m.inc("mcast.recovery.replays")
+            yield from self.reliability._retransmit_packet(
+                group, record, cmd.child
+            )
 
     def install_group_now(self, state: GroupState) -> None:
         """Zero-cost install (experiment setup before time starts)."""

@@ -109,6 +109,11 @@ class Forwarding:
             held = self._hold_message(group, h, rtoken)
         if h.chunk == 0 and h.info.get("app"):
             held.app_info = dict(h.info["app"])
+        if h.chunk == 0:
+            # Every member (leaves included) remembers message geometry:
+            # a later regraft can make any member a parent, and resyncing
+            # its new children needs records regenerated from this.
+            group.msg_meta[h.msg_id] = (h.seq, h.nchunks, h.msg_size)
         group.recv_seq = h.seq
         ev = cpu.use_fast(self.cost.nic_group_lookup)
         if ev is None:

@@ -33,6 +33,8 @@ __all__ = [
     "GroupTable",
     "CreateGroupCommand",
     "McastSendCommand",
+    "ReplayCommand",
+    "UpdateGroupCommand",
     "local_views",
 ]
 
@@ -81,6 +83,12 @@ class GroupState:
     child_acked: dict[int, int] = field(default_factory=dict)
     #: unacked send records by seq (backing dict of ``window``)
     records: dict[int, "McastRecord"] = field(default_factory=dict)
+    #: msg_id -> (first seq, nchunks, msg_size) for every message this
+    #: NIC has originated or received on the group.  Lets the recovery
+    #: path regenerate retired send records when a regraft hands this
+    #: node a new child that missed data (the payload itself is re-DMAed
+    #: from the still-registered host replica).
+    msg_meta: dict[int, tuple[int, int, int]] = field(default_factory=dict)
     #: in-progress / held messages by msg_id
     held: dict[int, _HeldMessage] = field(default_factory=dict)
     #: :class:`~repro.proto.window.SendWindow` view over ``records``
@@ -176,3 +184,34 @@ class McastSendCommand(HostCommand):
 
     token: SendToken | None = None
     group_id: int = -1
+
+
+@dataclass
+class UpdateGroupCommand(HostCommand):
+    """Host → NIC: rewrite this node's tree view after a repair.
+
+    Issued by the recovery control plane
+    (:class:`repro.mcast.recovery.RecoveryManager`) when a tree heals:
+    the group's parent/children change **in place**, preserving
+    sequence state.  Children that left take their pending-ack
+    obligations with them (their new parent resyncs them); children
+    that arrived are resynced from this node's retransmit window,
+    regenerating retired records from ``msg_meta`` where needed.
+    """
+
+    group_id: int = -1
+    parent: int | None = None
+    children: tuple[int, ...] = ()
+
+
+@dataclass
+class ReplayCommand(HostCommand):
+    """Host → NIC: replay all outstanding records to one child.
+
+    Issued when a child's connectivity recovers — instead of waiting
+    out the retransmission timer, the parent pushes the backlog at
+    detection time.
+    """
+
+    group_id: int = -1
+    child: int = -1

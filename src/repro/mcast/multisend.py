@@ -117,6 +117,8 @@ class Multisend:
             token=token,
         )
         group.window.add(record)
+        if chunk == 0:
+            group.msg_meta[token.msg_id] = (record.seq, nchunks, token.size)
         token.unacked_packets += 1
         return record
 

@@ -172,6 +172,75 @@ class McastReliability:
             name=f"{self.nic.name}.mcast_gbn",
         )
 
+    # -- regraft resync ----------------------------------------------------
+    def resync_children(
+        self, group: "GroupState", added: list[int]
+    ) -> Generator:
+        """Bring newly grafted children up to this node's sequence state.
+
+        Every sequence this node has seen (root: allocated; member:
+        received) that a new child has not acknowledged is replayed.
+        Retired records are regenerated from ``msg_meta`` — payload
+        bytes come back over DMA from the still-registered host
+        replica.  Replays a regrafted child already received are
+        dup-dropped and re-acked at the child (bounded duplicate wire
+        traffic, zero duplicate host deliveries), which also converges
+        the race where the child's ack beat this update.
+        """
+        hi = group.next_send_seq - 1 if group.is_root else group.recv_seq
+        m = self.sim.metrics
+        for seq in range(1, hi + 1):
+            record = group.window.get(seq)
+            if record is None:
+                record = self._regenerate_record(group, seq)
+                if record is None:
+                    continue
+            for child in added:
+                if group.child_acked.get(child, 0) >= seq:
+                    continue
+                record.unacked.add(child)
+                self.arm(group, record)
+                if m is not None:
+                    m.inc("mcast.recovery.replays")
+                yield from self._retransmit_packet(group, record, child)
+
+    def _regenerate_record(
+        self, group: "GroupState", seq: int
+    ) -> McastRecord | None:
+        """Rebuild a retired send record for *seq* from message metadata.
+
+        ``token=None`` always — at the root the original multisend token
+        has already accounted this packet, so a regenerated record must
+        not touch token accounting when it completes again.
+        """
+        from repro.net.packet import split_message
+
+        for msg_id, (base_seq, nchunks, msg_size) in group.msg_meta.items():
+            if base_seq <= seq < base_seq + nchunks:
+                break
+        else:
+            return None
+        chunk = seq - base_seq
+        payload = split_message(msg_size, self.cost.mtu)[chunk]
+        record = McastRecord(
+            seq=seq,
+            group_id=group.group_id,
+            msg_id=msg_id,
+            chunk=chunk,
+            nchunks=nchunks,
+            payload=payload,
+            msg_size=msg_size,
+            unacked=set(),
+            token=None,
+        )
+        group.window.add(record)
+        held = group.held.get(msg_id)
+        if held is not None:
+            # Keep the host pin alive until the regenerated obligation
+            # is discharged too.
+            held.pending_records += 1
+        return record
+
     def _retransmit_packet(
         self, group: "GroupState", record: McastRecord, child: int
     ) -> Generator:

@@ -429,3 +429,7 @@ register_scheme(SchemeSpec(
     tree_uses_cost=False,
     cls=LfcScheme,
 ))
+
+# The self-healing variants (backup_tree, tree_repair) live with the
+# recovery control plane and register themselves on import.
+from repro.mcast import recovery as _recovery  # noqa: E402,F401

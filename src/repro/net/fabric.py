@@ -70,6 +70,12 @@ class _Traversal:
         # claimed inline — no Request, no grant event; only a busy
         # channel parks the walk on a claim event.
         link = self.links[self.hop]
+        if not link.up:
+            # The cable (or an attached switch) died after this packet's
+            # route was stamped: cut-through flits hit the dead port and
+            # are discarded by the fabric, exactly like a Myrinet drain.
+            self._drop_dead(link)
+            return
         if link.claim_fast():
             self._cross(link)
         else:
@@ -85,6 +91,31 @@ class _Traversal:
 
     def _injected(self) -> None:
         self.on_injected(self.packet)
+
+    def _drop_dead(self, link) -> None:
+        net = self.net
+        sim = self.sim
+        packet = self.packet
+        net.failure_dropped += 1
+        m = sim.metrics
+        if m is not None:
+            m.inc("net.failure_drops")
+        if sim.trace.enabled:
+            sim.record(
+                "network",
+                "pkt_failure_drop",
+                uid=packet.uid,
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.header.seq,
+                ptype=packet.header.ptype.value,
+                link=link.name,
+            )
+        if self.hop == 0 and self.on_injected is not None:
+            # The transmit DMA still serializes the frame into the dead
+            # cable; the descriptor callback must fire at tail-out or
+            # the NIC's transmit engine would wait on it forever.
+            sim.schedule_callback(sim._now + self.ser, self._injected_cb)
 
     def _cross(self, link) -> None:
         sim = self.sim
@@ -220,6 +251,9 @@ class Network:
         self._sinks: dict[int, Callable[[Packet], None]] = {}
         self.delivered = 0
         self.dropped = 0
+        #: Packets discarded because a link/switch on their path was
+        #: down (distinct from ``dropped``, the loss-model CRC drops).
+        self.failure_dropped = 0
         # Per-packet fast path: routes are static, so hold direct
         # references here (one dict probe per traversal) and fold the
         # bandwidth division into a multiply.
@@ -263,11 +297,19 @@ class Network:
         links = self._routes.get(key)
         if links is None or self._topo_version != self.topology.version:
             if self._topo_version != self.topology.version:
-                # cable() rewired the fabric since these routes were
-                # cached; shortest paths may have changed.
+                # cable() rewired the fabric (or a failure transition
+                # flipped link state) since these routes were cached;
+                # shortest paths may have changed.
                 self._routes.clear()
                 self._topo_version = self.topology.version
-            links = self._routes[key] = self.topology.route(*key)
+            try:
+                links = self._routes[key] = self.topology.route(*key)
+            except RoutingError:
+                topo = self.topology
+                if not topo._down_edges and not topo._down_switches:
+                    raise  # genuine misconfiguration, not a failure
+                self._drop_unroutable(packet, on_injected)
+                return
         walk = _Traversal(self, packet, links, on_injected)
         sim = self.sim
         freelist = sim._cb_freelist
@@ -307,10 +349,54 @@ class Network:
             if self._topo_version != self.topology.version:
                 self._routes.clear()
                 self._topo_version = self.topology.version
-            links = self._routes[key] = self.topology.route(*key)
+            try:
+                links = self._routes[key] = self.topology.route(*key)
+            except RoutingError:
+                self._drop_unroutable(packet, None)
+                return
+        if hop >= len(links):
+            # A failure transition re-dispersed this pair's route onto a
+            # shorter path while the packet was mid-handoff; the stale
+            # hop index has nowhere to resume.  Physical analogue: the
+            # in-flight flits drained at the rewired port.
+            self._drop_unroutable(packet, None)
+            return
         walk = _Traversal(self, packet, links, None)
         walk.hop = hop
         self.sim.schedule_callback(when, walk._claim_cb)
+
+    def _drop_unroutable(
+        self,
+        packet: Packet,
+        on_injected: Callable[[Packet], None] | None,
+    ) -> None:
+        """Discard a packet with no live route (source-link death etc.).
+
+        Fires ``on_injected`` after the injection serialization time so
+        the sending NIC's transmit engine never wedges on a descriptor
+        callback that would otherwise never come.
+        """
+        sim = self.sim
+        self.failure_dropped += 1
+        m = sim.metrics
+        if m is not None:
+            m.inc("net.failure_drops")
+        if sim.trace.enabled:
+            sim.record(
+                "network",
+                "pkt_failure_drop",
+                uid=packet.uid,
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.header.seq,
+                ptype=packet.header.ptype.value,
+                link="unroutable",
+            )
+        if on_injected is not None:
+            ser = packet.wire_size * self._inv_bandwidth
+            sim.schedule_callback(
+                sim._now + ser, lambda: on_injected(packet)
+            )
 
     def min_latency(self, src: int, dst: int, wire_size: int) -> float:
         """Uncontended wire time for a packet of *wire_size* bytes."""

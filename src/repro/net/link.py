@@ -57,6 +57,12 @@ class Link:
         #: (``None`` when unpartitioned).  All contention state for this
         #: link lives on the owner; replicas on other shards stay idle.
         self.owner: int | None = None
+        #: Live-fabric state: ``False`` while the cable (or an attached
+        #: switch) is failed.  Flipped only through
+        #: :meth:`repro.net.topology.Topology.set_link_state` /
+        #: ``set_switch_state`` so the topology's route caches stay in
+        #: sync; packets claiming a dead link are dropped in the fabric.
+        self.up = True
 
     def serialization_time(self, packet: "Packet") -> float:
         return packet.wire_size / self.bandwidth

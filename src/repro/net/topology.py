@@ -59,12 +59,20 @@ class Topology:
         self._links: dict[tuple, Link] = {}
         self._route_cache: dict[tuple[int, int], list[Link]] = {}
         self._latency_cache: dict[tuple[int, int], float] = {}
-        #: Bumped on every wiring change (:meth:`cable`).  Derived caches
-        #: outside this class — e.g. the partition planner's cut-edge
-        #: scan (:mod:`repro.sim.parallel`) — key on it so repeated
-        #: lookahead computations are O(cut), re-scanned only after the
-        #: fabric actually changes.
+        #: Bumped on every wiring change (:meth:`cable`) and on every
+        #: failure transition (:meth:`set_link_state` /
+        #: :meth:`set_switch_state`).  Derived caches outside this class
+        #: — e.g. the partition planner's cut-edge scan
+        #: (:mod:`repro.sim.parallel`) and the fabric's per-network route
+        #: table — key on it so repeated lookahead computations are
+        #: O(cut), re-scanned only after the fabric actually changes.
         self.version = 0
+        #: Failed cables (canonical sorted endpoint pairs) and switches.
+        #: Routes are computed on the live subgraph; packets already in
+        #: flight discover a death at the link they try to claim.
+        self._down_edges: set[tuple] = set()
+        self._down_switches: set[int] = set()
+        self._cables: list[tuple] | None = None
         for i in range(n_nodes):
             self.graph.add_node((_NIC, i))
 
@@ -87,6 +95,7 @@ class Topology:
         # routes and latency sums are stale the moment the graph grows.
         self._route_cache.clear()
         self._latency_cache.clear()
+        self._cables = None
         self.version += 1
         for u, v in ((a, b), (b, a)):
             # A link terminating at a switch pays that switch's routing
@@ -117,9 +126,107 @@ class Topology:
         b.attach(pb, PortRef(a, pa))
         self.cable((_SWITCH, a.switch_id), (_SWITCH, b.switch_id))
 
+    # -- failure lifecycle -------------------------------------------------
+    def cables(self) -> list[tuple]:
+        """All physical cables as sorted canonical endpoint pairs.
+
+        The list order is deterministic (sorted), so an index into it is
+        a stable cable identifier — :class:`repro.net.failure.FailureSpec`
+        targets cables by this index.
+        """
+        if self._cables is None:
+            self._cables = sorted(
+                tuple(sorted(edge)) for edge in self.graph.edges
+            )
+        return self._cables
+
+    def nic_cable_index(self, nic_id: int) -> int:
+        """Index (into :meth:`cables`) of NIC *nic_id*'s attachment cable."""
+        for i, (a, b) in enumerate(self.cables()):
+            if (_NIC, nic_id) in (a, b):
+                return i
+        raise ConfigError(f"NIC {nic_id} has no attachment cable")
+
+    def set_link_state(self, cable_index: int, up: bool) -> bool:
+        """Fail or restore the cable at *cable_index*.
+
+        Returns ``True`` when the state actually changed (idempotent
+        no-op transitions do not bump :attr:`version`).
+        """
+        cables = self.cables()
+        if not 0 <= cable_index < len(cables):
+            raise ConfigError(
+                f"cable index {cable_index} out of range "
+                f"(topology has {len(cables)} cables)"
+            )
+        edge = cables[cable_index]
+        if up == (edge not in self._down_edges):
+            return False
+        if up:
+            self._down_edges.discard(edge)
+        else:
+            self._down_edges.add(edge)
+        self._state_changed()
+        return True
+
+    def set_switch_state(self, switch_id: int, up: bool) -> bool:
+        """Fail or restore a whole switch (all its ports go with it)."""
+        if not 0 <= switch_id < len(self.switches):
+            raise ConfigError(f"unknown switch id {switch_id}")
+        if up == (switch_id not in self._down_switches):
+            return False
+        if up:
+            self._down_switches.discard(switch_id)
+        else:
+            self._down_switches.add(switch_id)
+        self._state_changed()
+        return True
+
+    def _state_changed(self) -> None:
+        """Re-derive per-link flags and invalidate every route memo."""
+        down_nodes = {(_SWITCH, s) for s in self._down_switches}
+        for (u, v), link in self._links.items():
+            edge = tuple(sorted((u, v)))
+            link.up = (
+                edge not in self._down_edges
+                and u not in down_nodes
+                and v not in down_nodes
+            )
+        self._route_cache.clear()
+        self._latency_cache.clear()
+        self.version += 1
+
+    def link_is_up(self, a: tuple, b: tuple) -> bool:
+        return self._links[(a, b)].up
+
+    def has_path(self, src: int, dst: int) -> bool:
+        """Whether a live route exists between two NICs right now."""
+        if src == dst:
+            return True
+        try:
+            return nx.has_path(self._live_graph(), (_NIC, src), (_NIC, dst))
+        except nx.NodeNotFound:
+            return False
+
+    def _live_graph(self) -> "nx.Graph":
+        """The graph restricted to live switches and cables."""
+        if not self._down_edges and not self._down_switches:
+            return self.graph
+        return nx.restricted_view(
+            self.graph,
+            [(_SWITCH, s) for s in self._down_switches],
+            list(self._down_edges),
+        )
+
     # -- routing -------------------------------------------------------------
     def route(self, src: int, dst: int) -> list[Link]:
-        """The directed links a packet crosses from NIC *src* to NIC *dst*."""
+        """The directed links a packet crosses from NIC *src* to NIC *dst*.
+
+        Routes avoid failed cables and switches — the model's stand-in
+        for the GM mapper recomputing source routes after a fabric
+        change.  When no live path exists, :class:`RoutingError` is
+        raised; the fabric turns that into an injection-time drop.
+        """
         key = (src, dst)
         cached = self._route_cache.get(key)
         if cached is not None:
@@ -131,7 +238,9 @@ class Topology:
                 raise RoutingError(f"unknown NIC id {nic}")
         try:
             paths = list(
-                nx.all_shortest_paths(self.graph, (_NIC, src), (_NIC, dst))
+                nx.all_shortest_paths(
+                    self._live_graph(), (_NIC, src), (_NIC, dst)
+                )
             )
         except nx.NetworkXNoPath as exc:
             raise RoutingError(f"no path from NIC {src} to NIC {dst}") from exc

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ObservedRun",
     "run_observed",
+    "resilience_section",
     "serving_section",
     "build_health_report",
     "render_health_report",
@@ -67,6 +68,47 @@ SERVING_COUNTERS = (
     "serving.churn_scheduled",
     "serving.churn_applied",
 )
+
+#: Counters folded into the resilience section (failure-injected runs).
+RESILIENCE_COUNTERS = (
+    "net.failures.link_down",
+    "net.failures.link_up",
+    "net.failures.switch_down",
+    "net.failures.switch_up",
+    "net.failure_drops",
+    "mcast.recovery.tree_switches",
+    "mcast.recovery.repairs",
+    "mcast.recovery.regrafts",
+    "mcast.recovery.replays",
+    "mcast.recovery.replay_kicks",
+)
+
+
+def resilience_section(registry: MetricsRegistry) -> dict[str, Any] | None:
+    """The failure/recovery section of a health report.
+
+    Built from the ``net.failures.*`` instruments the
+    :class:`~repro.net.failure.FailureInjector` feeds and the
+    ``mcast.recovery.*`` instruments the self-healing schemes feed;
+    returns ``None`` when the observed run injected no failures, so
+    failure-free reports keep their exact prior shape.
+    """
+    names = registry.names()
+    if not any(
+        name.startswith(("net.failures.", "mcast.recovery."))
+        for name in names
+    ):
+        return None
+    section: dict[str, Any] = {
+        name: registry.value(name) for name in RESILIENCE_COUNTERS
+    }
+    gap = registry.get("mcast.broadcast.delivery_gap_us")
+    if gap is not None:
+        snap = gap.snapshot()
+        section["delivery_gap_us"] = {
+            key: snap[key] for key in ("count", "mean", "p50", "p99", "max")
+        }
+    return section
 
 
 def serving_section(registry: MetricsRegistry) -> dict[str, Any] | None:
@@ -194,6 +236,9 @@ def _scheme_report(run: ObservedRun) -> dict[str, Any]:
     serving = serving_section(reg)
     if serving is not None:
         report["serving"] = serving
+    resilience = resilience_section(reg)
+    if resilience is not None:
+        report["resilience"] = resilience
     return report
 
 

@@ -271,6 +271,7 @@ def run_bench(
 ) -> dict[str, Any]:
     """Run the full benchmark and return the report dict."""
     from repro.perf.bench_parallel import bench_parallel
+    from repro.perf.bench_resilience import bench_resilience
     from repro.perf.bench_serving import bench_serving
 
     jobs = jobs if jobs is not None else default_jobs()
@@ -283,6 +284,8 @@ def run_bench(
         "serving": bench_serving(repeats=3, smoke=smoke),
         "parallel": bench_parallel(repeats=3, smoke=smoke),
         "timers": bench_timer_churn(),
+        # report-only (simulated-time recovery characteristics, no gate)
+        "resilience": bench_resilience(),
         "figures": {},
     }
     for figure_id in figures:

@@ -1,0 +1,77 @@
+"""Recovery-latency benchmark: the self-healing schemes on a pinned
+failure fixture.
+
+Reuses Figure 8's fixture — a 64-node Clos, one 16 KiB broadcast over
+the pinned binomial tree, three staggered interior-NIC-link outages
+(:mod:`repro.experiments.fig8`) — and reports, per scheme, how long the
+orphaned subtrees went undelivered: for every destination in a failed
+node's subtree that had not yet been served when its link went down,
+``recovery latency = host delivery time - link_down time``.  Mean and
+95th percentile land in the ``resilience`` section of
+``BENCH_kernel.json``.
+
+Report-only: the simulator is deterministic, so these are simulated
+microseconds, not wall-clock — they characterize the recovery designs
+(CI gates them only through the fig8 delivery checks).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Any
+
+from repro.experiments import fig8
+from repro.gm.params import GMCostModel
+from repro.scenario import broadcast_point, run_spec
+from repro.trees import build_tree
+
+__all__ = ["bench_resilience"]
+
+
+def _p95(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[int(0.95 * (len(ordered) - 1))]
+
+
+def bench_resilience() -> dict[str, Any]:
+    """Mean/95p recovery latency per scheme on the fig8 fixture."""
+    tree = build_tree(0, list(range(1, fig8.NODES)), shape="binomial")
+    n_failures = len(fig8.VICTIMS)
+    down_at = {
+        victim: fig8.DOWN_AT + fig8.STAGGER * k
+        for k, victim in enumerate(fig8.VICTIMS)
+    }
+    report: dict[str, Any] = {
+        "fixture": (
+            f"{fig8.NODES}-node clos, {fig8.SIZE}B broadcast, binomial "
+            f"tree, {n_failures} staggered interior link failures"
+        ),
+        "schemes": {},
+    }
+    members = list(range(1, fig8.NODES))
+    for scheme in fig8.SCHEMES:
+        spec = broadcast_point(
+            fig8.NODES, fig8.SIZE, scheme,
+            tree_shape="binomial",
+            failures=fig8.failure_spec(n_failures, GMCostModel()),
+        )
+        point = run_spec(spec).value(fig8.SIZE)
+        latencies: list[float] = []
+        for victim, t_down in down_at.items():
+            for node in tree.subtree_nodes(victim):
+                delivered = point.deliveries.get(node)
+                if delivered is not None and delivered > t_down:
+                    latencies.append(delivered - t_down)
+        report["schemes"][scheme] = {
+            "delivered": len(point.deliveries),
+            "expected": len(members),
+            "completion_us": round(point.completion_us, 3),
+            "affected_deliveries": len(latencies),
+            "recovery_latency_mean_us": (
+                round(mean(latencies), 3) if latencies else None
+            ),
+            "recovery_latency_p95_us": (
+                round(_p95(latencies), 3) if latencies else None
+            ),
+        }
+    return report

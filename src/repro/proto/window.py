@@ -99,6 +99,22 @@ class SendWindow:
                 break
             yield records.pop(seq)
 
+    def remove_child(self, child: int) -> Iterator[Any]:
+        """Discharge *child* from every record's ``unacked`` set.
+
+        Used when a tree repair moves a child to a new parent: the old
+        parent is no longer responsible for its acknowledgments.
+        Records whose last pending child was *child* are retired and
+        yielded (in sequence order), exactly like :meth:`ack_from_child`.
+        """
+        records = self.records
+        for seq in sorted(records):
+            record = records[seq]
+            record.unacked.discard(child)
+            if not record.unacked:
+                del records[seq]
+                yield record
+
     def ack_from_child(self, child: int, ack_seq: int) -> Iterator[Any]:
         """Per-child cumulative ack for one-to-many windows.
 

@@ -19,6 +19,7 @@ here; nothing in this package may import ``repro.experiments`` (or
 
 from repro.scenario.grid import GridCell, ScenarioGrid
 from repro.scenario.harness import (
+    BroadcastResult,
     Harness,
     MulticastMeasurement,
     ScenarioResult,
@@ -36,6 +37,7 @@ from repro.scenario.spec import (
     ScenarioSpec,
     TrafficSpec,
     WorkloadSpec,
+    broadcast_point,
     mpi_bcast_point,
     multicast_point,
     multisend_point,
@@ -45,6 +47,7 @@ from repro.scenario.spec import (
 )
 
 __all__ = [
+    "BroadcastResult",
     "GridCell",
     "Harness",
     "MPI_SIZES",
@@ -58,6 +61,7 @@ __all__ = [
     "ScenarioSpec",
     "TrafficSpec",
     "WorkloadSpec",
+    "broadcast_point",
     "measured_ack_trip",
     "mpi_bcast_point",
     "multicast_point",

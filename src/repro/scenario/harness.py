@@ -41,6 +41,7 @@ from repro.scenario.spec import ScenarioSpec, unicast_point
 from repro.trees import build_tree
 
 __all__ = [
+    "BroadcastResult",
     "Harness",
     "MulticastMeasurement",
     "ScenarioResult",
@@ -74,6 +75,24 @@ class MulticastMeasurement:
 
 
 @dataclass
+class BroadcastResult:
+    """One one-shot broadcast, with the per-destination evidence.
+
+    ``completion_us`` is the headline (root post to the last member's
+    host delivery); ``deliveries`` maps every member to its absolute
+    delivery time, so 100% delivery is checked per destination, not
+    inferred from the maximum.
+    """
+
+    completion_us: float
+    start_us: float
+    deliveries: dict[int, float]
+
+    def delivered_all(self, members: list[int]) -> bool:
+        return set(self.deliveries) == set(members)
+
+
+@dataclass
 class ScenarioResult:
     """Everything one scenario run produced."""
 
@@ -89,6 +108,8 @@ class ScenarioResult:
         value = self.values[size]
         if isinstance(value, MulticastMeasurement):
             return value.latency
+        if isinstance(value, BroadcastResult):
+            return value.completion_us
         if hasattr(value, "mean_bcast_cpu_time"):  # SkewResult
             return value.mean_bcast_cpu_time
         if hasattr(value, "delivered_msgs_per_sec"):  # ServingStats
@@ -137,7 +158,7 @@ class Harness:
         """Measure every size in the spec's measurement policy."""
         kind = self.spec.workload.kind
         if self.spec.partition is not None and kind in (
-            "unicast", "multisend"
+            "unicast", "multisend", "broadcast"
         ):
             # Sharded execution (repro.sim.parallel), driven through the
             # partition glue; the serving kind handles partitioning in
@@ -302,6 +323,64 @@ class Harness:
             latency=max(per_dest.values()) + ack_trip,
             per_dest_delivery=per_dest,
             ack_trip=ack_trip,
+        )
+
+    def _run_broadcast(self, size: int) -> BroadcastResult:
+        """Fig. 8 metric: one one-shot broadcast, run to quiescence.
+
+        Unlike the iterated multicast loop there is no round barrier:
+        the cluster runs until the event queue drains, so scheduled
+        failure events, recovery replays, and the retransmit tail all
+        play out — the delivery-guarantee window must close for the
+        run to end at all.
+        """
+        spec = self.spec
+        cluster = self.build_cluster()
+        dests = spec.destinations()
+        deliveries: dict[int, float] = {}
+        start = [0.0]
+
+        scheme_spec = get_scheme(
+            resolve_scheme(spec.workload.scheme, context="multicast")
+        )
+        shape = spec.workload.tree_shape or scheme_spec.default_tree
+        if scheme_spec.tree_uses_cost:
+            tree = build_tree(
+                spec.workload.root, dests, shape=shape,
+                cost=spec.cluster.cost, size=size,
+            )
+        else:
+            tree = build_tree(spec.workload.root, dests, shape=shape)
+        bound = scheme_spec.cls(scheme_spec, cluster, tree)
+        bound.install()
+
+        def root() -> Generator:
+            start[0] = cluster.now
+            yield from bound.post(size)
+
+        def member(i: int) -> Generator:
+            port = cluster.port(i)
+            yield from port.receive()
+            deliveries[i] = cluster.now
+            yield from port.provide_receive_buffer()
+            yield from bound.relay(i, size)
+
+        cluster.spawn(root())
+        for i in dests:
+            cluster.spawn(member(i))
+        cluster.run()  # to quiescence: protocol tail included
+        m = cluster.sim.metrics
+        if m is not None and deliveries:
+            m.observe(
+                "mcast.broadcast.delivery_gap_us",
+                max(deliveries.values()) - min(deliveries.values()),
+            )
+        return BroadcastResult(
+            completion_us=(
+                max(deliveries.values(), default=start[0]) - start[0]
+            ),
+            start_us=start[0],
+            deliveries=deliveries,
         )
 
     def _run_mpi_bcast(self, size: int) -> float:

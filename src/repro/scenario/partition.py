@@ -22,7 +22,8 @@ from statistics import mean
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.cluster import Cluster, build_topology
-from repro.mcast.schemes import create_scheme, resolve_scheme
+from repro.mcast.schemes import create_scheme, get_scheme, resolve_scheme
+from repro.scenario.harness import BroadcastResult
 from repro.scenario.spec import ScenarioSpec
 from repro.sim.engine import Simulator
 from repro.sim.parallel import (
@@ -95,11 +96,15 @@ class _PointShard:
         self.starts: list[float] = []
         self.deliveries: list[float] = []
         self.durations: list[float] = []
+        #: broadcast kind: local member -> absolute host-delivery time
+        self.delivery_map: dict[int, float] = {}
         kind = spec.workload.kind
         if kind == "unicast":
             self._setup_unicast(spec, size)
         elif kind == "multisend":
             self._setup_multisend(spec, size)
+        elif kind == "broadcast":
+            self._setup_broadcast(spec, size)
         else:  # pragma: no cover - guarded by PartitionSpec validation
             raise ValueError(f"kind {kind!r} has no partitioned point runner")
 
@@ -169,11 +174,56 @@ class _PointShard:
             if cluster.is_local(i):
                 cluster.spawn(receiver(i))
 
-    def result(self) -> dict[str, list[float]]:
+    def _setup_broadcast(self, spec: ScenarioSpec, size: int) -> None:
+        """One-shot broadcast shard (mirrors Harness._run_broadcast).
+
+        Every shard builds the same tree (deterministic from the spec)
+        and binds the scheme with the pinned group id; self-healing
+        schemes also construct identical TreeManager/RecoveryManager
+        replicas per shard, each applying updates to local nodes only.
+        There is no round barrier, so the conductor just runs every
+        shard to quiescence.
+        """
+        cluster = self.cluster
+        dests = spec.destinations()
+        scheme_spec = get_scheme(
+            resolve_scheme(spec.workload.scheme, context="multicast")
+        )
+        shape = spec.workload.tree_shape or scheme_spec.default_tree
+        if scheme_spec.tree_uses_cost:
+            tree = build_tree(
+                spec.workload.root, dests, shape=shape,
+                cost=spec.cluster.cost, size=size,
+            )
+        else:
+            tree = build_tree(spec.workload.root, dests, shape=shape)
+        bound = scheme_spec.cls(scheme_spec, cluster, tree)
+        bound.group_id = PINNED_GROUP_ID
+        bound.install()
+
+        def root() -> Generator:
+            self.starts.append(cluster.now)
+            yield from bound.post(size)
+
+        def member(i: int) -> Generator:
+            port = cluster.port(i)
+            yield from port.receive()
+            self.delivery_map[i] = cluster.now
+            yield from port.provide_receive_buffer()
+            yield from bound.relay(i, size)
+
+        if cluster.is_local(spec.workload.root):
+            cluster.spawn(root())
+        for i in dests:
+            if cluster.is_local(i):
+                cluster.spawn(member(i))
+
+    def result(self) -> dict[str, Any]:
         return {
             "starts": self.starts,
             "deliveries": self.deliveries,
             "durations": self.durations,
+            "delivery_map": self.delivery_map,
         }
 
 
@@ -183,18 +233,36 @@ def _point_factory(shard_id: int, spec_json: str, size: int) -> _PointShard:
     return _PointShard(spec, make_plan(spec), shard_id, size)
 
 
-def _merge_point(kind: str, results: list[dict[str, list[float]]]) -> float:
+def _merge_point(kind: str, results: list[dict[str, Any]]) -> Any:
     """The point's serial-identical value from the per-shard lists."""
     if kind == "unicast":
         starts = sorted(t for r in results for t in r["starts"])
         deliveries = sorted(t for r in results for t in r["deliveries"])
         return mean(d - t0 for d, t0 in zip(deliveries, starts))
+    if kind == "broadcast":
+        start = min(t for r in results for t in r["starts"])
+        deliveries: dict[int, float] = {}
+        for r in results:
+            deliveries.update(r["delivery_map"])
+        return BroadcastResult(
+            completion_us=max(deliveries.values(), default=start) - start,
+            start_us=start,
+            deliveries=deliveries,
+        )
     durations = [d for r in results for d in r["durations"]]
     return mean(durations)
 
 
-def run_point_partitioned(harness: "Harness", size: int) -> float:
-    """One partitioned unicast/multisend point, serial-identical value."""
+def run_point_partitioned(harness: "Harness", size: int) -> Any:
+    """One partitioned unicast/multisend/broadcast point.
+
+    Unicast/multisend values are serial-identical by construction.
+    Broadcast points are self-deterministic per shard count (same spec
+    and seed replay byte-identically at a given shard count); failure
+    detection falls inside different conductor safe windows at
+    different shard counts, so exact serial equality is only promised
+    for failure-free runs.
+    """
     spec = harness.spec
     plan = make_plan(spec)
     kind = spec.workload.kind

@@ -28,6 +28,7 @@ from repro.config import ClusterConfig
 from repro.errors import ConfigError
 from repro.gm.params import GMCostModel
 from repro.mcast.schemes import BoundScheme, get_scheme, resolve_scheme
+from repro.net.failure import FailureSpec
 from repro.trees import TREE_SHAPES
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "multisend_point",
     "multicast_point",
     "mpi_bcast_point",
+    "broadcast_point",
     "skew_point",
     "serving_point",
 ]
@@ -72,15 +74,17 @@ QUICK_MAX_SKEWS = (0.0, 800.0, 3200.0)
 
 WORKLOAD_KINDS = (
     "unicast", "multisend", "multicast", "mpi_bcast", "mpi_skew",
-    "serving",
+    "serving", "broadcast",
 )
 
 #: Workload kinds the sharded kernel (:mod:`repro.sim.parallel`) can
 #: decompose.  The others coordinate through host-side state that is
-#: global by construction — the multicast kinds share a per-round
-#: completion event across all receivers, and churn rewrites group
-#: membership on arbitrary shards mid-run.
-PARTITIONABLE_KINDS = ("unicast", "multisend", "serving")
+#: global by construction — the iterated multicast kinds share a
+#: per-round completion event across all receivers, and churn rewrites
+#: group membership on arbitrary shards mid-run.  ``broadcast`` is the
+#: one-shot multicast shape: no round barrier, so each shard just runs
+#: its local members to quiescence.
+PARTITIONABLE_KINDS = ("unicast", "multisend", "serving", "broadcast")
 
 #: Arrival processes a :class:`TrafficSpec` can declare.
 ARRIVAL_KINDS = ("poisson", "trace")
@@ -93,6 +97,7 @@ METRIC_BY_KIND = {
     "mpi_bcast": "bcast_latency_plus_ack_us",
     "mpi_skew": "bcast_cpu_time_us",
     "serving": "delivered_msgs_per_sec",
+    "broadcast": "completion_time_us",
 }
 
 #: MPI-level scheme spellings -> "use the NIC-based broadcast".
@@ -106,6 +111,7 @@ _SCHEME_CONTEXT = {
     "multisend": "multisend",
     "multicast": "multicast",
     "serving": "multicast",
+    "broadcast": "multicast",
 }
 
 
@@ -661,6 +667,39 @@ def mpi_bcast_point(
         measurement=MeasurementSpec(
             sizes=(size,), iterations=iterations, warmup=warmup
         ),
+    )
+
+
+def broadcast_point(
+    n_nodes: int,
+    size: int,
+    scheme: str,
+    cost: GMCostModel | None = None,
+    seed: int = 0,
+    tree_shape: str | None = None,
+    topology: str = "clos",
+    clos_radix: int = 16,
+    failures: FailureSpec | None = None,
+    name: str = "",
+) -> ScenarioSpec:
+    """Fig. 8 shape: one one-shot broadcast, optionally with failures
+    injected mid-flight.  Completion time = root post to the last
+    member's host delivery; per-destination delivery times ride along so
+    the 100%-delivery check is verifiable, not assumed."""
+    return ScenarioSpec(
+        workload=WorkloadSpec(
+            kind="broadcast", scheme=scheme, tree_shape=tree_shape
+        ),
+        cluster=ClusterConfig(
+            n_nodes=n_nodes,
+            cost=cost or GMCostModel(),
+            seed=seed,
+            topology=topology,
+            clos_radix=clos_radix,
+            failures=failures,
+        ),
+        measurement=MeasurementSpec(sizes=(size,), iterations=1, warmup=0),
+        name=name,
     )
 
 

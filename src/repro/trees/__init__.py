@@ -11,6 +11,12 @@ the message size through the cost model.
 from repro.trees.base import SpanningTree
 from repro.trees.binomial import binomial_tree
 from repro.trees.builder import TREE_SHAPES, build_tree, check_deadlock_ordering
+from repro.trees.manager import (
+    Regraft,
+    RepairResult,
+    TreeManager,
+    check_feasible,
+)
 from repro.trees.metrics import TreeStats, tree_stats
 from repro.trees.postal import (
     PostalParams,
@@ -22,13 +28,17 @@ from repro.trees.shapes import chain_tree, flat_tree, kary_tree
 
 __all__ = [
     "PostalParams",
+    "Regraft",
+    "RepairResult",
     "SpanningTree",
     "TREE_SHAPES",
+    "TreeManager",
     "TreeStats",
     "binomial_tree",
     "build_tree",
     "chain_tree",
     "check_deadlock_ordering",
+    "check_feasible",
     "flat_tree",
     "kary_tree",
     "optimal_postal_tree",

@@ -174,3 +174,76 @@ def test_partitioned_fig3_quick_table_identical(n_shards):
                 )
             ).run().values
             assert part == serial, (scheme, size, n_shards, part, serial)
+
+
+# ---------------------------------------------------------------------------
+# Failure + loss replay identity: a broadcast that loses packets AND
+# suffers a mid-flight link failure must replay byte-identically for a
+# given (spec, seed, shard count) — the bar the self-healing recovery
+# schemes (PR "topology failure lifecycle") are held to.  Serial and
+# sharded runs are each self-deterministic; serial==sharded equality is
+# only promised failure-free (see run_point_partitioned), so each mode
+# is compared against its own replay, not across modes.
+# ---------------------------------------------------------------------------
+
+def _failure_broadcast_spec():
+    from dataclasses import replace
+
+    from repro.net.failure import FailureEvent, FailureSpec
+    from repro.net.fault import LossSpec
+    from repro.scenario.spec import broadcast_point
+
+    # Victim: node 8's NIC cable, down mid-broadcast, healed well before
+    # the retransmit window would give up.
+    scratch = Cluster(ClusterConfig(n_nodes=16, topology="clos", seed=5))
+    cable = scratch.topology.nic_cable_index(8)
+    failures = FailureSpec(kind="scheduled", events=(
+        FailureEvent(30.0, "link_down", cable),
+        FailureEvent(600.0, "link_up", cable),
+    ))
+    spec = broadcast_point(
+        16, 16384, "tree_repair", seed=5, tree_shape="binomial",
+        failures=failures, name="golden-failure-broadcast",
+    )
+    return replace(
+        spec,
+        cluster=replace(
+            spec.cluster, loss=LossSpec(kind="bernoulli", rate=0.02)
+        ),
+    )
+
+
+def _failure_broadcast_run(mode):
+    from dataclasses import replace
+
+    from repro.obs.registry import MetricsRegistry
+    from repro.scenario.harness import Harness
+    from repro.scenario.spec import PartitionSpec
+
+    spec = _failure_broadcast_spec()
+    if mode != "serial":
+        n_shards = int(mode.split("-")[0])
+        spec = replace(
+            spec,
+            partition=PartitionSpec(
+                shards=n_shards, partitioner="contiguous"
+            ),
+        )
+    registry = MetricsRegistry()
+    result = Harness(spec, registry=registry).run()
+    (point,) = result.values.values()
+    return point, registry.snapshot()
+
+
+@pytest.mark.parametrize("mode", ["serial", "2-shards", "4-shards"])
+def test_failure_broadcast_replay_identical(mode):
+    first_point, first_metrics = _failure_broadcast_run(mode)
+    # Full delivery despite 2% bernoulli loss and a mid-flight failure.
+    assert sorted(first_point.deliveries) == list(range(1, 16)), mode
+    assert first_point.completion_us > 0
+
+    second_point, second_metrics = _failure_broadcast_run(mode)
+    assert second_point == first_point, (
+        f"{mode} replay diverged: {second_point} != {first_point}"
+    )
+    assert second_metrics == first_metrics, f"{mode} metrics diverged"

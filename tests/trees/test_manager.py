@@ -1,0 +1,114 @@
+"""TreeManager: backups, incremental repair, deadlock-order feasibility."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees import (
+    SpanningTree,
+    TreeManager,
+    build_tree,
+    check_feasible,
+)
+
+
+def _manager(n=16, **kw):
+    tree = build_tree(0, list(range(1, n)), shape="binomial")
+    return TreeManager(tree, **kw)
+
+
+# -- feasibility -------------------------------------------------------------
+
+def test_check_feasible_accepts_id_ordered_tree():
+    tree = build_tree(0, [1, 2, 3, 4, 5, 6, 7], shape="binomial")
+    assert check_feasible(tree) is tree
+
+
+def test_check_feasible_rejects_order_violation():
+    # Non-root parent 5 feeds child 3: violates the §5 deadlock ordering.
+    bad = SpanningTree(0, {0: (5,), 5: (3,)})
+    with pytest.raises(TreeError):
+        check_feasible(bad)
+
+
+def test_check_feasible_rejects_malformed_wiring():
+    with pytest.raises(TreeError):
+        check_feasible(SpanningTree(0, {0: (1,), 1: (0,)}))  # cycle
+
+
+# -- backups -----------------------------------------------------------------
+
+def test_backup_exists_only_for_interior_nodes():
+    mgr = _manager(16)
+    interior = set(mgr.primary.interior()) - {mgr.primary.root}
+    for node in mgr.primary.nodes:
+        if node == mgr.primary.root:
+            continue
+        backup = mgr.backup_for(node)
+        if node in interior:
+            assert backup is not None
+            # The victim survives as a root leaf; everyone stays covered.
+            assert set(backup.nodes) == set(mgr.primary.nodes)
+            assert backup.children_of(node) == ()
+            check_feasible(backup)
+        else:
+            assert backup is None
+
+
+def test_precomputed_backups_match_lazy():
+    lazy = _manager(16)
+    eager = _manager(16, precompute_backups=True)
+    for node in lazy.primary.interior():
+        if node == lazy.primary.root:
+            continue
+        assert lazy.backup_for(node) == eager.backup_for(node)
+
+
+def test_switch_to_changes_current_not_primary():
+    mgr = _manager(16)
+    victim = next(n for n in mgr.primary.interior() if n != 0)
+    backup = mgr.backup_for(victim)
+    mgr.switch_to(backup)
+    assert mgr.current is backup
+    assert mgr.primary is not backup
+
+
+# -- repair ------------------------------------------------------------------
+
+def test_repair_regrafts_orphans_to_smaller_ids():
+    mgr = _manager(16)
+    result = mgr.repair({8})
+    assert result.regrafts, "interior death must rewire someone"
+    # The dead node stays in the tree as a leaf (it catches up from the
+    # retransmit window once its link heals) but forwards to no one.
+    assert set(result.tree.nodes) == set(mgr.primary.nodes)
+    assert result.tree.children_of(8) == ()
+    for graft in result.regrafts:
+        assert graft.old_parent == 8
+        new_parent = graft.new_parent
+        assert new_parent == 0 or new_parent < graft.orphan
+    check_feasible(result.tree)
+    assert mgr.current is result.tree
+
+
+def test_repair_leaf_death_needs_no_regrafts():
+    mgr = _manager(16)
+    leaf = next(iter(mgr.primary.leaves()))
+    result = mgr.repair({leaf})
+    assert result.regrafts == ()
+    assert result.tree == mgr.primary
+
+
+def test_repair_stacks_across_failures():
+    mgr = _manager(16)
+    mgr.repair({8})
+    result = mgr.repair({8, 4})
+    assert set(result.tree.nodes) == set(range(16))
+    assert result.tree.children_of(8) == ()
+    assert result.tree.children_of(4) == ()
+    check_feasible(result.tree)
+
+
+def test_repair_root_death_is_fatal():
+    mgr = _manager(8)
+    with pytest.raises(TreeError):
+        mgr.repair({0})

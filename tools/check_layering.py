@@ -25,6 +25,14 @@ Three rules are load-bearing enough to gate CI on:
   ``repro.experiments`` or ``repro.obs``, and only ``repro.workload``,
   ``repro.experiments``, and ``repro.perf`` may import it back.
 
+* ``repro.trees`` is pure structure (shapes, backup/repair managers,
+  deadlock-feasibility checks): it may never import ``repro.mcast`` —
+  the recovery schemes bind a tree manager to a group, not vice versa;
+* failure-injector hooks (``FailureInjector.subscribe``) may only be
+  subscribed from ``repro.mcast``, ``repro.scenario``, and
+  ``repro.workload`` — failure *application* lives in ``repro.net``,
+  failure *reaction* above the engines, and nothing else gets to peek.
+
 Imports guarded by ``if TYPE_CHECKING:`` are ignored — annotations may
 name types from anywhere without creating a runtime dependency.
 
@@ -61,6 +69,17 @@ ALLOWED = {
         "repro.nic",
         "repro.errors",
         "repro.perf.counters",
+        "repro.perf",
+    ),
+    # Trees are pure structure (shapes, repair, feasibility checks):
+    # they may use the cost model (repro.gm) and packet geometry
+    # (repro.net) but never the protocol engines — repro.mcast binds a
+    # TreeManager to a group, not the other way around.
+    "trees": (
+        "repro.trees",
+        "repro.errors",
+        "repro.gm",
+        "repro.net",
         "repro.perf",
     ),
     "scenario": (
@@ -103,6 +122,40 @@ OBS_IMPORTERS = ("obs", "experiments", "perf")
 SCENARIO_IMPORTERS = ("scenario", "workload", "experiments", "perf")
 #: Packages (and top-level modules) allowed to import ``repro.workload``.
 WORKLOAD_IMPORTERS = ("workload", "experiments", "perf")
+
+#: Modules allowed to subscribe to failure-injector hooks
+#: (``<injector>.subscribe(cb)``).  Failure *detection* is a protocol /
+#: scenario concern: the recovery control plane (repro.mcast) and the
+#: declarative layer (repro.scenario) react to it; everything else —
+#: trees, net internals, the kernel — must stay failure-agnostic, and
+#: repro/net/failure.py itself defines the hook.
+SUBSCRIBE_ALLOWED = ("mcast", "scenario", "workload")
+SUBSCRIBE_ALLOWED_FILES = ("net/failure.py",)
+
+
+def check_failure_subscribers() -> list[str]:
+    """Only the allowed layers may call ``.subscribe(...)``."""
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel_parts = path.relative_to(SRC).parts
+        owner = rel_parts[0] if len(rel_parts) > 1 else path.stem
+        rel_src = path.relative_to(SRC).as_posix()
+        if owner in SUBSCRIBE_ALLOWED or rel_src in SUBSCRIBE_ALLOWED_FILES:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "subscribe"
+            ):
+                rel = path.relative_to(REPO)
+                violations.append(
+                    f"{rel}:{node.lineno}: only "
+                    f"{', '.join(SUBSCRIBE_ALLOWED)} (and net/failure.py) "
+                    "may subscribe to failure hooks"
+                )
+    return violations
 
 
 def check_back_edges(
@@ -228,6 +281,7 @@ def main() -> int:
     violations.extend(check_obs_back_edges())
     violations.extend(check_scenario_back_edges())
     violations.extend(check_workload_back_edges())
+    violations.extend(check_failure_subscribers())
     if violations:
         print("import layering violations:", file=sys.stderr)
         for v in violations:
@@ -235,7 +289,8 @@ def main() -> int:
         return 1
     print(
         f"layering clean: {', '.join(ALLOWED)} respect their bounds; "
-        "no repro.obs, repro.scenario, or repro.workload back-edges"
+        "no repro.obs, repro.scenario, or repro.workload back-edges; "
+        "failure hooks subscribed only from sanctioned layers"
     )
     return 0
 
