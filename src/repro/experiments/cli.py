@@ -88,7 +88,7 @@ def run_scenario_file(path: str, metrics: bool = False) -> str:
 
         registry = MetricsRegistry()
     result = Harness(spec, registry=registry).run()
-    text = render_scenario_result(result)
+    text = render_scenario_result(result, registry=registry)
     if registry is not None:
         sidecar = f"{spec.name or 'scenario'}.metrics.json"
         with open(sidecar, "w", encoding="utf-8") as fh:

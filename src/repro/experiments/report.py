@@ -82,12 +82,17 @@ class FigureResult:
         return "\n".join(out)
 
 
-def render_scenario_result(result: Any) -> str:
+def render_scenario_result(result: Any, registry: Any = None) -> str:
     """Render a :class:`~repro.scenario.harness.ScenarioResult` as text.
 
     Duck-typed over the per-point value shapes the harness produces
     (plain latencies, multicast measurements with per-destination
     detail, skew results) so this module needs no scenario import.
+
+    ``registry`` — the metrics registry that observed the run, if any;
+    failure-injected runs get a resilience section (``net.failures.*``
+    and ``mcast.recovery.*`` counters plus the ``delivery_gap_us``
+    histogram) appended after the result table.
     """
     spec = result.spec
     w = spec.workload
@@ -177,7 +182,47 @@ def render_scenario_result(result: Any) -> str:
             [str(size), f"{value:.2f}"]
             for size, value in result.values.items()
         ]
-    return "\n".join(head) + render_table(headers, rows)
+    text = "\n".join(head) + render_table(headers, rows)
+    if registry is not None:
+        resilience = _render_resilience(registry)
+        if resilience:
+            text += "\n\n" + resilience
+    return text
+
+
+def _render_resilience(registry: Any) -> str | None:
+    """The failure/recovery counter table, or ``None`` when failure-free.
+
+    Rendering delegates to :func:`repro.obs.health.resilience_section`
+    (lazily — ``obs`` sits above this layer, so the import must not run
+    at module load), which returns ``None`` unless the run actually
+    injected failures.
+    """
+    from repro.obs.health import resilience_section
+
+    section = resilience_section(registry)
+    if section is None:
+        return None
+    gap = section.pop("delivery_gap_us", None)
+    out = [
+        "resilience:",
+        render_table(
+            ["counter", "value"],
+            [[name, str(value)] for name, value in sorted(section.items())],
+        ),
+    ]
+    if gap is not None:
+        out += [
+            "",
+            "delivery gap (us):",
+            render_table(
+                ["count", "mean", "p50", "p99", "max"],
+                [[str(gap["count"]), f"{gap['mean']:.2f}",
+                  f"{gap['p50']:g}", f"{gap['p99']:g}",
+                  "-" if gap["max"] is None else f"{gap['max']:.2f}"]],
+            ),
+        ]
+    return "\n".join(out)
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

@@ -64,6 +64,9 @@ class SendRecord:
     #: absolute retransmission deadline, managed by the connection's
     #: :class:`~repro.proto.timer.RetransmitTimer`.
     deadline: float = NEVER
+    #: flight-recorder trace id (-1 = untraced); stamped into every
+    #: packet built from this record, retransmissions included.
+    trace_id: int = -1
 
 
 class Connection:
@@ -222,6 +225,13 @@ class GMEngine:
             self.memory.require(token.region)
         conn = self.send_conn(token.port_num, token.dst, token.dst_port)
         chunks = split_message(token.size, self.cost.mtu)
+        fr = self.sim.flight
+        tid = -1
+        if fr is not None:
+            tid = fr.begin(
+                self.sim.now, self.nic.id, "unicast",
+                size=token.size, msg_id=token.msg_id,
+            )
         for idx, payload in enumerate(chunks):
             record = SendRecord(
                 seq=conn.alloc_seq(),
@@ -233,6 +243,7 @@ class GMEngine:
                 dst=token.dst,
                 dst_port=token.dst_port,
                 local_port=token.port_num,
+                trace_id=tid,
             )
             conn.window.add(record)
             token.unacked_packets += 1
@@ -244,6 +255,12 @@ class GMEngine:
                 lambda conn=conn, record=record: self._transmit_record(
                     conn, record
                 )
+            )
+        if fr is not None:
+            fr.record(
+                self.sim.now, -1, "gauge", self.nic.id, -1, 0,
+                {"name": "proto.send_window_depth",
+                 "value": len(conn.records)},
             )
         token.all_packets_sent = True
         self._maybe_complete(token)
@@ -271,9 +288,17 @@ class GMEngine:
             nchunks=record.nchunks,
             payload=record.payload,
             msg_size=record.msg_size,
+            trace_id=record.trace_id,
         )
         if record.chunk == 0 and record.token.context.get("info") is not None:
             pkt.header.info["app"] = record.token.context["info"]
+        fr = self.sim.flight
+        if fr is not None and record.trace_id >= 0:
+            fr.record(
+                self.sim.now, record.trace_id, "tx", self.nic.id,
+                pkt.uid, record.chunk,
+                {"attempt": record.retransmits, "dst": record.dst},
+            )
         desc = PacketDescriptor(pkt, buffer=buf)
         self.nic.queue_tx(desc, TX_PRIO_DATA)
 
@@ -317,12 +342,26 @@ class GMEngine:
         if conn is None:
             return  # stale ack for a connection we never opened
         m = self.sim.metrics
+        fr = self.sim.flight
+        acked = 0
         for record in conn.window.ack_cumulative(h.ack_seq):
+            acked += 1
             if m is not None:
                 m.observe("proto.ack_latency_us", self.sim.now - record.sent_at)
+            if fr is not None and record.trace_id >= 0:
+                fr.record(
+                    self.sim.now, record.trace_id, "ack", self.nic.id,
+                    pkt.uid, record.chunk, {"src": h.src},
+                )
             token = record.token
             token.unacked_packets -= 1
             self._maybe_complete(token)
+        if fr is not None and acked:
+            fr.record(
+                self.sim.now, -1, "gauge", self.nic.id, -1, 0,
+                {"name": "proto.send_window_depth",
+                 "value": len(conn.records)},
+            )
         conn.timer.defuse()
 
     def _maybe_complete(self, token: SendToken) -> None:
@@ -432,6 +471,12 @@ class GMEngine:
             conn.inflight.pop(pkt.header.msg_id, None)
             yield from self.nic.processing(self.cost.nic_event_post)
             port = self.ports.get(pkt.header.port)
+            fr = self.sim.flight
+            if fr is not None and pkt.header.trace_id >= 0:
+                fr.record(
+                    self.sim.now, pkt.header.trace_id, "host_deliver",
+                    self.nic.id, pkt.uid, pkt.header.chunk,
+                )
             if port is not None:
                 port.return_recv_token(msg.token)
                 port.deliver_event(

@@ -139,7 +139,7 @@ class McastEngine:
             if m is not None:
                 m.inc("mcast.recovery.replays")
             yield from self.reliability._retransmit_packet(
-                group, record, cmd.child
+                group, record, cmd.child, replay=True
             )
 
     def install_group_now(self, state: GroupState) -> None:
@@ -177,6 +177,14 @@ class McastEngine:
         token.arm(dst=-1, dst_port=port.port_num, size=size)
         if info is not None:
             token.context["info"] = info
+        fr = self.sim.flight
+        if fr is not None:
+            tid = fr.begin(
+                self.sim.now, self.nic.id, "mcast", size=size,
+                group=group_id, msg_id=token.msg_id,
+            )
+            if tid >= 0:
+                token.context["trace_id"] = tid
         handle = SendHandle(
             token=token, done=self.sim.event(), posted_at=self.sim.now
         )
@@ -205,6 +213,7 @@ class McastEngine:
             nchunks=record.nchunks,
             payload=record.payload,
             msg_size=record.msg_size,
+            trace_id=record.trace_id,
         )
         if record.chunk == 0 and record.app_info:
             pkt.header.info["app"] = record.app_info

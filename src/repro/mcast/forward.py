@@ -113,7 +113,9 @@ class Forwarding:
             # Every member (leaves included) remembers message geometry:
             # a later regraft can make any member a parent, and resyncing
             # its new children needs records regenerated from this.
-            group.msg_meta[h.msg_id] = (h.seq, h.nchunks, h.msg_size)
+            group.msg_meta[h.msg_id] = (
+                h.seq, h.nchunks, h.msg_size, h.trace_id
+            )
         group.recv_seq = h.seq
         ev = cpu.use_fast(self.cost.nic_group_lookup)
         if ev is None:
@@ -161,6 +163,12 @@ class Forwarding:
         forward_started = self.sim.now
         yield from self.nic.processing(self.cost.nic_forward_processing)
         yield from self.nic.sram_copy(h.payload)
+        fr = self.sim.flight
+        if fr is not None and h.trace_id >= 0:
+            fr.record(
+                self.sim.now, h.trace_id, "sram_copy", self.nic.id,
+                pkt.uid, h.chunk,
+            )
         self.engine.reliability.arm(group, record)
         first, rest = group.children[0], group.children[1:]
         fwd = pkt.clone(src=self.nic.id, dst=first)
@@ -221,6 +229,7 @@ class Forwarding:
             unacked=set(group.children),
             token=None,
             app_info=held.app_info if h.chunk == 0 and held.app_info else None,
+            trace_id=h.trace_id,
         )
         group.window.add(record)
         held.pending_records += 1
@@ -262,6 +271,12 @@ class Forwarding:
             return
         yield from self.nic.processing(self.cost.nic_event_post)
         held.delivered_to_host = True
+        fr = self.sim.flight
+        if fr is not None and pkt.header.trace_id >= 0:
+            fr.record(
+                self.sim.now, pkt.header.trace_id, "host_deliver",
+                self.nic.id, pkt.uid, pkt.header.chunk,
+            )
         port = self.gm.ports.get(group.port_num)
         if port is not None:
             port.deliver_event(

@@ -83,12 +83,15 @@ class GroupState:
     child_acked: dict[int, int] = field(default_factory=dict)
     #: unacked send records by seq (backing dict of ``window``)
     records: dict[int, "McastRecord"] = field(default_factory=dict)
-    #: msg_id -> (first seq, nchunks, msg_size) for every message this
-    #: NIC has originated or received on the group.  Lets the recovery
-    #: path regenerate retired send records when a regraft hands this
-    #: node a new child that missed data (the payload itself is re-DMAed
-    #: from the still-registered host replica).
-    msg_meta: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    #: msg_id -> (first seq, nchunks, msg_size, trace_id) for every
+    #: message this NIC has originated or received on the group.  Lets
+    #: the recovery path regenerate retired send records when a regraft
+    #: hands this node a new child that missed data (the payload itself
+    #: is re-DMAed from the still-registered host replica); the trace id
+    #: keeps recovery replays attributable in the flight recorder.
+    msg_meta: dict[int, tuple[int, int, int, int]] = field(
+        default_factory=dict
+    )
     #: in-progress / held messages by msg_id
     held: dict[int, _HeldMessage] = field(default_factory=dict)
     #: :class:`~repro.proto.window.SendWindow` view over ``records``

@@ -82,6 +82,12 @@ class Multisend:
         buf = yield self.nic.send_buffers.acquire()
         # The message crosses the PCI bus ONCE, whatever the fanout.
         yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
+        fr = self.sim.flight
+        if fr is not None and record.trace_id >= 0:
+            fr.record(
+                self.sim.now, record.trace_id, "dma", self.nic.id,
+                -1, record.chunk,
+            )
         self.engine.reliability.arm(group, record)
         first, rest = group.children[0], group.children[1:]
         pkt = self.engine._build_mcast_packet(group, record, first)
@@ -115,10 +121,13 @@ class Multisend:
             msg_size=token.size,
             unacked=set(group.children),
             token=token,
+            trace_id=token.context.get("trace_id", -1),
         )
         group.window.add(record)
         if chunk == 0:
-            group.msg_meta[token.msg_id] = (record.seq, nchunks, token.size)
+            group.msg_meta[token.msg_id] = (
+                record.seq, nchunks, token.size, record.trace_id
+            )
         token.unacked_packets += 1
         return record
 

@@ -144,6 +144,12 @@ class RecoveryManager:
                 "recovery", "tree_heal", group=self.group_id,
                 mode=self.mode, unreachable=sorted(unreachable),
             )
+        fr = self.sim.flight
+        if fr is not None:
+            fr.note(
+                self.sim.now, "regraft", -1, group=self.group_id,
+                mode=self.mode, unreachable=sorted(unreachable),
+            )
         self._push_updates(old, new_tree)
 
     def _push_updates(

@@ -56,6 +56,9 @@ class McastRecord:
     deadline: float = NEVER
     #: application payload info riding on chunk 0 (survives retransmits)
     app_info: dict | None = None
+    #: flight-recorder trace id (-1 = untraced); carried from the root
+    #: post through forwarding, retransmission, and recovery replay.
+    trace_id: int = -1
 
 
 class _McastSelectiveGoBackN(SelectiveGoBackN):
@@ -127,9 +130,15 @@ class McastReliability:
             return  # stale
         group.child_acked[child] = h.ack_seq
         m = self.sim.metrics
+        fr = self.sim.flight
         for record in group.window.ack_from_child(child, h.ack_seq):
             if m is not None:
                 m.observe("proto.ack_latency_us", self.sim.now - record.sent_at)
+            if fr is not None and record.trace_id >= 0:
+                fr.record(
+                    self.sim.now, record.trace_id, "ack", self.nic.id,
+                    pkt.uid, record.chunk, {"child": child},
+                )
             self.engine._record_completed(group, record)
         if group.timer is not None:
             group.timer.defuse()
@@ -202,7 +211,9 @@ class McastReliability:
                 self.arm(group, record)
                 if m is not None:
                     m.inc("mcast.recovery.replays")
-                yield from self._retransmit_packet(group, record, child)
+                yield from self._retransmit_packet(
+                    group, record, child, replay=True
+                )
 
     def _regenerate_record(
         self, group: "GroupState", seq: int
@@ -215,7 +226,7 @@ class McastReliability:
         """
         from repro.net.packet import split_message
 
-        for msg_id, (base_seq, nchunks, msg_size) in group.msg_meta.items():
+        for msg_id, (base_seq, nchunks, msg_size, tid) in group.msg_meta.items():
             if base_seq <= seq < base_seq + nchunks:
                 break
         else:
@@ -232,6 +243,7 @@ class McastReliability:
             msg_size=msg_size,
             unacked=set(),
             token=None,
+            trace_id=tid,
         )
         group.window.add(record)
         held = group.held.get(msg_id)
@@ -242,12 +254,16 @@ class McastReliability:
         return record
 
     def _retransmit_packet(
-        self, group: "GroupState", record: McastRecord, child: int
+        self, group: "GroupState", record: McastRecord, child: int,
+        replay: bool = False,
     ) -> Generator:
         """Stage one retransmission to one child from host memory.
 
         Data is re-fetched from (still registered) host memory — the
         receive buffer was released when forwarding completed.
+        *replay* marks recovery resyncs (regraft / explicit replay), so
+        the flight recorder can attribute the wait to ``recovery_gap``
+        rather than ``retransmit_wait``.
         """
         buf = yield self.nic.send_buffers.acquire()
         yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
@@ -258,5 +274,13 @@ class McastReliability:
             self.nic.name, "mcast_retransmit", group=group.group_id,
             seq=record.seq, child=child, attempt=record.retransmits,
         )
+        fr = self.sim.flight
+        if fr is not None and record.trace_id >= 0:
+            fr.record(
+                self.sim.now, record.trace_id, "tx", self.nic.id,
+                pkt.uid, record.chunk,
+                {"attempt": record.retransmits, "dst": child,
+                 "replay": replay},
+            )
         desc = PacketDescriptor(pkt, buffer=buf)  # default free-on-transmit
         self.nic.queue_tx(desc, TX_PRIO_DATA)

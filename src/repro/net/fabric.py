@@ -87,6 +87,16 @@ class _Traversal:
         m = sim.metrics
         if m is not None:
             m.observe("net.queue_wait_us", sim._now - self._blocked_at)
+        fr = sim.flight
+        if fr is not None:
+            packet = self.packet
+            tid = packet.header.trace_id
+            if tid >= 0:
+                fr.record(
+                    sim._now, tid, "queue", packet.header.src, packet.uid,
+                    packet.header.chunk,
+                    {"wait": sim._now - self._blocked_at},
+                )
         self._cross(self.links[self.hop])
 
     def _injected(self) -> None:
@@ -110,6 +120,13 @@ class _Traversal:
                 seq=packet.header.seq,
                 ptype=packet.header.ptype.value,
                 link=link.name,
+            )
+        fr = sim.flight
+        if fr is not None and packet.header.trace_id >= 0:
+            fr.record(
+                sim._now, packet.header.trace_id, "failure_drop",
+                packet.dst, packet.uid, packet.header.chunk,
+                {"link": link.name},
             )
         if self.hop == 0 and self.on_injected is not None:
             # The transmit DMA still serializes the frame into the dead
@@ -213,6 +230,12 @@ class _Traversal:
                     seq=packet.header.seq,
                     ptype=packet.header.ptype.value,
                 )
+            fr = sim.flight
+            if fr is not None and packet.header.trace_id >= 0:
+                fr.record(
+                    sim._now, packet.header.trace_id, "drop",
+                    packet.dst, packet.uid, packet.header.chunk,
+                )
             return
         net.delivered += 1
         if m is not None:
@@ -226,6 +249,13 @@ class _Traversal:
                 dst=packet.dst,
                 seq=packet.header.seq,
                 ptype=packet.header.ptype.value,
+            )
+        fr = sim.flight
+        if fr is not None and packet.header.trace_id >= 0:
+            fr.record(
+                sim._now, packet.header.trace_id, "deliver",
+                packet.dst, packet.uid, packet.header.chunk,
+                {"src": packet.src},
             )
         net._sinks[packet.dst](packet)
 
@@ -312,6 +342,13 @@ class Network:
                 return
         walk = _Traversal(self, packet, links, on_injected)
         sim = self.sim
+        fr = sim.flight
+        if fr is not None and packet.header.trace_id >= 0:
+            fr.record(
+                sim._now, packet.header.trace_id, "inject",
+                packet.src, packet.uid, packet.header.chunk,
+                {"dst": packet.dst},
+            )
         freelist = sim._cb_freelist
         if freelist:
             cell = freelist.pop()
@@ -391,6 +428,13 @@ class Network:
                 seq=packet.header.seq,
                 ptype=packet.header.ptype.value,
                 link="unroutable",
+            )
+        fr = sim.flight
+        if fr is not None and packet.header.trace_id >= 0:
+            fr.record(
+                sim._now, packet.header.trace_id, "failure_drop",
+                packet.dst, packet.uid, packet.header.chunk,
+                {"link": "unroutable"},
             )
         if on_injected is not None:
             ser = packet.wire_size * self._inv_bandwidth

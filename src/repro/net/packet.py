@@ -86,6 +86,12 @@ class PacketHeader:
         Total message size in bytes.
     ack_seq:
         For ACK packets: cumulative acknowledged sequence number.
+    trace_id:
+        Flight-recorder trace identifier of the root message this packet
+        carries data for (``-1`` = untraced).  Assigned once at the root
+        post and propagated through fragmentation, cloning (NIC
+        forwarding), retransmission, and recovery replay so a sampled
+        message's packets can be causally stitched back together.
     info:
         Scheme-specific extras (e.g. the NIC-assisted scheme carries its
         destination list here; credits ride here for FM/MC and LFC).
@@ -105,6 +111,7 @@ class PacketHeader:
     payload: int = 0
     msg_size: int = 0
     ack_seq: int = -1
+    trace_id: int = -1
     info: dict[str, Any] = field(default_factory=dict)
 
 
@@ -170,6 +177,7 @@ class Packet:
 _HEADER_DEFAULTS = {
     "port": 0, "from_port": 0, "seq": 0, "group": None, "msg_id": 0,
     "chunk": 0, "nchunks": 1, "payload": 0, "msg_size": 0, "ack_seq": -1,
+    "trace_id": -1,
 }
 
 

@@ -131,6 +131,13 @@ class NIC:
                 return
             if m is not None:
                 m.set_gauge("nic.recv_buffers_in_use", self.recv_buffers.in_use)
+            fr = self.sim.flight
+            if fr is not None:
+                fr.record(
+                    self.sim.now, -1, "gauge", self.id, -1, 0,
+                    {"name": "nic.recv_buffers_in_use",
+                     "value": self.recv_buffers.in_use},
+                )
             self.rx_queue.put((packet, buf))
         else:
             self.rx_queue.put((packet, None))
@@ -220,6 +227,13 @@ class NIC:
                 m.observe("nic.tx_service_us", sim._now - tx_started)
                 m.set_gauge(
                     "nic.send_buffers_in_use", self.send_buffers.in_use
+                )
+            fr = sim.flight
+            if fr is not None:
+                fr.record(
+                    sim._now, -1, "gauge", nic_id, -1, 0,
+                    {"name": "nic.send_buffers_in_use",
+                     "value": self.send_buffers.in_use},
                 )
             if trace.enabled:
                 sim.record(

@@ -1,17 +1,35 @@
-"""Unified observability: metrics registry, health reports, timelines.
+"""Unified observability: metrics, flight traces, health, timelines.
 
 ``repro.obs`` is the stack's top observation layer.  It may import from
 every other layer, but nothing below ``experiments``/``perf`` may
 import it back (enforced by ``tools/check_layering.py``): the
 instrumented layers talk to the registry only through the duck-typed
-``sim.metrics`` slot, which is ``None`` unless an observer attaches
-one.  See ``docs/observability.md``.
+``sim.metrics`` slot and to the flight recorder only through
+``sim.flight`` — both ``None`` unless an observer attaches one.  See
+``docs/observability.md``.
 """
 
+from repro.obs.critical import (
+    SEGMENTS,
+    DestinationPath,
+    TraceCriticalPath,
+    critical_path_to_dict,
+    critical_paths,
+    render_critical_path,
+)
+from repro.obs.flight import (
+    ORIGIN_STRIDE,
+    STAGES,
+    FlightEvent,
+    FlightRecorder,
+    event_to_dict,
+    gauge_series,
+)
 from repro.obs.health import (
     ObservedRun,
     build_health_report,
     render_health_report,
+    resilience_section,
     serving_section,
     run_observed,
 )
@@ -28,10 +46,12 @@ from repro.obs.timeline import (
     SPAN_RULES,
     chrome_trace,
     chrome_trace_events,
+    counter_events,
     spans_from_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.timeseries import TimeSeriesRecorder, render_timeseries
 
 __all__ = [
     "Counter",
@@ -41,14 +61,30 @@ __all__ = [
     "MetricsRegistry",
     "LATENCY_BUCKETS_US",
     "OCCUPANCY_BUCKETS",
+    "FlightRecorder",
+    "FlightEvent",
+    "ORIGIN_STRIDE",
+    "STAGES",
+    "event_to_dict",
+    "gauge_series",
+    "SEGMENTS",
+    "DestinationPath",
+    "TraceCriticalPath",
+    "critical_paths",
+    "critical_path_to_dict",
+    "render_critical_path",
+    "TimeSeriesRecorder",
+    "render_timeseries",
     "ObservedRun",
     "run_observed",
     "build_health_report",
     "render_health_report",
+    "resilience_section",
     "serving_section",
     "SPAN_RULES",
     "chrome_trace",
     "chrome_trace_events",
+    "counter_events",
     "spans_from_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -1,9 +1,22 @@
-"""``python -m repro.obs``: protocol health reports + Chrome traces.
+"""``python -m repro.obs``: health reports, traces, critical paths.
 
-Runs any registered multicast scheme once under full observation and
-prints a protocol-health report; optional flags write the
-machine-readable report JSON and a Chrome trace-event timeline (open
-it in https://ui.perfetto.dev) for the first scheme run.
+With no subcommand, runs any registered multicast scheme once under
+full observation and prints a protocol-health report; optional flags
+write the machine-readable report JSON and a Chrome trace-event
+timeline (open it in https://ui.perfetto.dev) for the first scheme run
+— gauge samples from the flight recorder ride along as counter tracks.
+
+Subcommands drive scenario specs instead of single schemes:
+
+``critical-path SPEC.json``
+    Run the spec with a flight recorder attached and print each traced
+    message's per-destination latency decomposition (host / nic / wire /
+    queue / retransmit-wait / recovery-gap), reconciled against the
+    harness's measured delivery times.
+
+``timeseries SPEC.json``
+    Run a serving spec with a windowed time-series sampler attached and
+    print the per-window throughput/quantile table.
 
 Examples::
 
@@ -12,6 +25,10 @@ Examples::
         --chrome-trace out.json                      # Fig. 2, interactive
     python -m repro.obs --smoke                      # CI artifacts
     python -m repro.obs --validate out.json          # schema check only
+    python -m repro.obs critical-path \
+        examples/scenarios/clos_failures_selfheal.json --json cp.json
+    python -m repro.obs timeseries \
+        examples/scenarios/serving_churn.json --json ts.json
 """
 
 from __future__ import annotations
@@ -23,11 +40,13 @@ import sys
 from repro.mcast.schemes import available_schemes
 from repro.net.fault import BernoulliLoss, LossModel, ScriptedLoss
 from repro.net.packet import PacketType
+from repro.obs.flight import FlightRecorder, gauge_series
 from repro.obs.health import (
     build_health_report,
     render_health_report,
     run_observed,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import validate_chrome_trace, write_chrome_trace
 
 SMOKE_TRACE = "obs_smoke_trace.json"
@@ -69,7 +88,157 @@ def _validate_file(path: str) -> int:
     return 0
 
 
+# -- scenario-spec subcommands ---------------------------------------------
+
+def _load_spec(path: str):
+    from repro.scenario.spec import ScenarioSpec
+
+    with open(path, encoding="utf-8") as fh:
+        return ScenarioSpec.from_dict(json.load(fh))
+
+
+def _telemetry(spec):
+    """The spec's telemetry request, or the default one."""
+    from repro.scenario.spec import TelemetrySpec
+
+    tel = getattr(spec.measurement, "telemetry", None)
+    return tel if tel is not None else TelemetrySpec()
+
+
+def run_critical_path(argv: list[str]) -> int:
+    """The ``critical-path`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs critical-path",
+        description="Run a scenario spec with a flight recorder attached "
+        "and print per-destination critical-path decompositions.",
+    )
+    parser.add_argument("spec", help="scenario spec JSON path")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the decomposition + reconciliation JSON")
+    args = parser.parse_args(argv)
+
+    import repro.workload  # noqa: F401  (registers the serving runner)
+    from repro.obs.critical import (
+        critical_path_to_dict,
+        critical_paths,
+        render_critical_path,
+    )
+    from repro.scenario.harness import Harness
+
+    spec = _load_spec(args.spec)
+    tel = _telemetry(spec)
+    flight = FlightRecorder(sample=tel.sample, cap=tel.cap)
+    registry = MetricsRegistry()
+    result = Harness(spec, registry=registry, flight=flight).run()
+
+    paths = critical_paths(flight.events)
+    if not paths:
+        print(f"no traced messages recorded for {spec.name} "
+              f"(sample={tel.sample})", file=sys.stderr)
+        return 1
+
+    print(f"# critical paths: {spec.name} "
+          f"({len(flight)} flight events, {len(paths)} trace(s), "
+          f"{flight.dropped} ring-dropped)")
+    for cp in paths:
+        print()
+        print(render_critical_path(cp))
+
+    # Reconcile against the harness's measured per-destination deliveries
+    # (broadcast points expose them); the segment sums telescope, so the
+    # flight decomposition must agree with the measurement to < 1us.
+    recon = []
+    for size, value in result.values.items():
+        deliveries = getattr(value, "deliveries", None)
+        start = getattr(value, "start_us", None)
+        if not deliveries or start is None:
+            continue
+        for cp in paths:
+            for dest, p in sorted(cp.destinations.items()):
+                measured = deliveries.get(dest)
+                if measured is None:
+                    continue
+                diff = (measured - start) - p.segment_sum
+                recon.append({
+                    "size": size, "trace_id": cp.trace_id, "dest": dest,
+                    "measured_us": measured - start,
+                    "segment_sum_us": p.segment_sum,
+                    "diff_us": diff,
+                })
+    if recon:
+        worst = max(abs(r["diff_us"]) for r in recon)
+        print(f"\nreconciliation: {len(recon)} destinations, "
+              f"max |measured - segments| = {worst:.3f}us")
+
+    if args.json:
+        payload = {
+            "spec": spec.name,
+            "flight_events": len(flight),
+            "ring_dropped": flight.dropped,
+            "traces": [critical_path_to_dict(cp) for cp in paths],
+            "reconciliation": recon,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def run_timeseries(argv: list[str]) -> int:
+    """The ``timeseries`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs timeseries",
+        description="Run a serving scenario spec with a windowed "
+        "time-series sampler attached and print the per-window table.",
+    )
+    parser.add_argument("spec", help="scenario spec JSON path")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the windowed snapshots JSON")
+    args = parser.parse_args(argv)
+
+    import repro.workload  # noqa: F401  (registers the serving runner)
+    from repro.obs.timeseries import TimeSeriesRecorder, render_timeseries
+    from repro.scenario.harness import Harness
+
+    spec = _load_spec(args.spec)
+    if spec.workload.kind != "serving":
+        print(f"timeseries needs a serving spec; {args.spec} is "
+              f"{spec.workload.kind!r}", file=sys.stderr)
+        return 2
+    tel = _telemetry(spec)
+    registry = MetricsRegistry()
+    ts = TimeSeriesRecorder(registry, interval_us=tel.interval_us)
+    result = Harness(spec, registry=registry, timeseries=ts).run()
+
+    stats = result.values[0]
+    print(f"# time series: {spec.name} "
+          f"({stats.msgs_delivered} delivered over "
+          f"{spec.traffic.duration_us:g}us)")
+    print()
+    print(render_timeseries(ts))
+    totals = ts.totals()
+    print(f"\ntotals: posted={totals.get('serving.msgs_posted', 0.0):g} "
+          f"delivered={totals.get('serving.msgs_delivered', 0.0):g} "
+          f"over {len(ts.snapshots)} windows")
+
+    if args.json:
+        payload = ts.to_dict()
+        payload["spec"] = spec.name
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "critical-path":
+        return run_critical_path(argv[1:])
+    if argv and argv[0] == "timeseries":
+        return run_timeseries(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -132,12 +301,19 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             loss=_loss_for(args),  # fresh model per run
             trace=want_trace,
+            flight=want_trace,  # gauge samples -> counter tracks
         ))
 
     print(render_health_report(runs))
 
     if args.chrome_trace:
-        payload = write_chrome_trace(args.chrome_trace, runs[0].tracer)
+        counters = (
+            gauge_series(runs[0].flight.events)
+            if runs[0].flight is not None else None
+        )
+        payload = write_chrome_trace(
+            args.chrome_trace, runs[0].tracer, counters=counters
+        )
         print(f"\nwrote {args.chrome_trace} "
               f"({len(payload['traceEvents'])} trace events, "
               f"scheme {runs[0].scheme})")

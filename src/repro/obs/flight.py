@@ -1,0 +1,242 @@
+"""Sampled per-packet flight recorder.
+
+The registry (:mod:`repro.obs.registry`) answers *how much*; the flight
+recorder answers *where did this message's time go*.  Each sampled root
+message gets a **trace id**, stamped into ``PacketHeader.trace_id`` at
+the post and carried through fragmentation, NIC forwarding (``clone``
+copies the header), retransmission, and recovery replay.  Instrumented
+layers append **hop events** — host post, DMA, SRAM copy, transmit,
+fabric injection, link-claim queueing, delivery, host delivery, ack,
+drops — through the duck-typed ``sim.flight`` slot, exactly like
+``sim.metrics``:
+
+```python
+fr = sim.flight
+if fr is not None and pkt.header.trace_id >= 0:
+    fr.record(now, pkt.header.trace_id, "deliver", dst, pkt.uid, chunk)
+```
+
+With no recorder attached that is one attribute check per site; with one
+attached, recording is a list append — the recorder never touches the
+event queue, so attached and detached runs replay byte-identically (the
+golden-trace tests pin this).
+
+**Determinism across shard counts.**  Trace ids are allocated per
+*origin* node (``origin * ORIGIN_STRIDE + n``-th post from that origin),
+and the sampling decision is a deterministic per-origin counter walk —
+no RNG, no global allocator.  A given scenario therefore assigns
+identical trace ids serial or sharded: an origin's posts all happen on
+its own shard, in shard-local deterministic order.  Packets cross shard
+boundaries whole (``Network.accept_handoff``), so trace ids survive
+cross-shard hops for free; per-shard recorders are folded back with
+:meth:`FlightRecorder.absorb` +
+:func:`repro.sim.parallel.merge_flight_events`.
+
+The critical-path analyzer over these events lives in
+:mod:`repro.obs.critical`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "FlightRecorder",
+    "FlightEvent",
+    "ORIGIN_STRIDE",
+    "STAGES",
+    "EV_WHEN",
+    "EV_TRACE",
+    "EV_STAGE",
+    "EV_NODE",
+    "EV_UID",
+    "EV_CHUNK",
+    "EV_EXTRA",
+    "event_to_dict",
+    "gauge_series",
+]
+
+#: Trace ids are ``origin * ORIGIN_STRIDE + per-origin-sequence``: unique
+#: across origins (and therefore across shards) without any global
+#: allocator, and stable across shard counts.
+ORIGIN_STRIDE = 1 << 20
+
+#: Every stage a hop event may carry (documentation + render order).
+STAGES = (
+    "post",          # root message posted at the host
+    "dma",           # host -> NIC SRAM DMA of one chunk
+    "sram_copy",     # NIC-forwarding SRAM copy of a held chunk
+    "tx",            # packet built/queued at a NIC (attempt/replay flags)
+    "inject",        # fabric traversal starts (src NIC -> wire)
+    "queue",         # link-claim wait ended (carries the wait)
+    "deliver",       # fabric delivered the packet to the dst NIC sink
+    "host_deliver",  # RecvCompletion surfaced to the host port
+    "ack",           # (m)cast ack matched to an in-window record
+    "retransmit",    # timeout/laggard retransmission leaving a NIC
+    "drop",          # injected-loss drop
+    "failure_drop",  # dead-link / unroutable drop
+    "regraft",       # recovery heal applied (global note, trace_id = -1)
+    "gauge",         # gauge sample (global note, trace_id = -1)
+)
+
+#: A hop event is a plain tuple (hot-path append, picklable, mergeable):
+#: ``(when, trace_id, stage, node, uid, chunk, extra)``.
+FlightEvent = tuple
+EV_WHEN, EV_TRACE, EV_STAGE, EV_NODE, EV_UID, EV_CHUNK, EV_EXTRA = range(7)
+
+
+class FlightRecorder:
+    """Bounded recorder of hop events for sampled root messages.
+
+    Parameters
+    ----------
+    sample:
+        Fraction of root messages to trace, in ``[0, 1]``.  The decision
+        is deterministic per origin (the ``n``-th post from an origin is
+        sampled iff ``floor((n+1)*sample) > floor(n*sample)``), so
+        ``1.0`` traces everything and ``0.0`` nothing — no RNG draw, no
+        perturbation of seeded streams.
+    cap:
+        Ring-buffer capacity in events.  When full, the oldest events
+        are overwritten and :attr:`dropped` counts the overwrites.
+    """
+
+    __slots__ = ("sample", "cap", "dropped", "_events", "_write",
+                 "_origin_seq")
+
+    def __init__(self, sample: float = 1.0, cap: int = 1 << 18):
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.sample = sample
+        self.cap = cap
+        self.dropped = 0
+        self._events: list[FlightEvent] = []
+        self._write = 0
+        self._origin_seq: dict[int, int] = {}
+
+    # -- recording (hot path when attached) --------------------------------
+    def begin(
+        self,
+        when: float,
+        origin: int,
+        kind: str,
+        size: int = 0,
+        group: int | None = None,
+        msg_id: int = 0,
+    ) -> int:
+        """Open a trace for a root message posted at *origin*.
+
+        Returns the trace id to stamp into the message's packets, or
+        ``-1`` when this post falls outside the sampling fraction.
+        """
+        n = self._origin_seq.get(origin, 0)
+        self._origin_seq[origin] = n + 1
+        if int((n + 1) * self.sample) - int(n * self.sample) <= 0:
+            return -1
+        tid = origin * ORIGIN_STRIDE + n
+        self.record(when, tid, "post", origin, -1, 0, {
+            "kind": kind, "size": size, "group": group, "msg_id": msg_id,
+        })
+        return tid
+
+    def record(
+        self,
+        when: float,
+        trace_id: int,
+        stage: str,
+        node: int,
+        uid: int = -1,
+        chunk: int = 0,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        """Append one hop event (ring semantics once *cap* is reached)."""
+        ev = (when, trace_id, stage, node, uid, chunk, extra)
+        events = self._events
+        if len(events) < self.cap:
+            events.append(ev)
+        else:
+            events[self._write % self.cap] = ev
+            self.dropped += 1
+        self._write += 1
+
+    def note(self, when: float, stage: str, node: int,
+             **extra: Any) -> None:
+        """A global (trace-less) annotation event, e.g. a recovery heal."""
+        self.record(when, -1, stage, node, -1, 0, extra)
+
+    # -- reading / merging -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[FlightEvent]:
+        """Recorded events in append order (ring rotation undone)."""
+        if self.dropped:
+            split = self._write % self.cap
+            return self._events[split:] + self._events[:split]
+        return list(self._events)
+
+    def traces(self) -> list[int]:
+        """All trace ids seen, in first-appearance order."""
+        seen: dict[int, None] = {}
+        for ev in self.events:
+            tid = ev[EV_TRACE]
+            if tid >= 0 and tid not in seen:
+                seen[tid] = None
+        return list(seen)
+
+    def fork(self) -> "FlightRecorder":
+        """A fresh empty recorder with the same settings (one per shard)."""
+        return FlightRecorder(sample=self.sample, cap=self.cap)
+
+    def absorb(self, events: Iterable[FlightEvent]) -> None:
+        """Fold merged shard events (already globally ordered) in."""
+        for ev in events:
+            ev_t = tuple(ev)
+            evs = self._events
+            if len(evs) < self.cap:
+                evs.append(ev_t)
+            else:
+                evs[self._write % self.cap] = ev_t
+                self.dropped += 1
+            self._write += 1
+
+
+def event_to_dict(ev: FlightEvent) -> dict[str, Any]:
+    """One hop event as a JSON-ready dict."""
+    out: dict[str, Any] = {
+        "t": ev[EV_WHEN],
+        "trace": ev[EV_TRACE],
+        "stage": ev[EV_STAGE],
+        "node": ev[EV_NODE],
+    }
+    if ev[EV_UID] >= 0:
+        out["uid"] = ev[EV_UID]
+    if ev[EV_CHUNK]:
+        out["chunk"] = ev[EV_CHUNK]
+    if ev[EV_EXTRA]:
+        out.update(ev[EV_EXTRA])
+    return out
+
+
+def gauge_series(
+    events: Iterable[FlightEvent],
+) -> dict[str, list[tuple[float, int, float]]]:
+    """Gauge samples grouped by name: ``{name: [(t, node, value), ...]}``.
+
+    Feed the result to
+    :func:`repro.obs.timeline.counter_events` to render the series as
+    Chrome trace ``"C"`` counter tracks.
+    """
+    series: dict[str, list[tuple[float, int, float]]] = {}
+    for ev in events:
+        if ev[EV_STAGE] != "gauge":
+            continue
+        extra = ev[EV_EXTRA] or {}
+        name = extra.get("name", "gauge")
+        series.setdefault(name, []).append(
+            (ev[EV_WHEN], ev[EV_NODE], extra.get("value", 0))
+        )
+    return series

@@ -152,6 +152,8 @@ class ObservedRun:
     sim_time_us: float
     #: the simulator's tracer (records populated only when trace=True)
     tracer: Any = None
+    #: the run's flight recorder (attached when flight=True)
+    flight: Any = None
     notes: list[str] = field(default_factory=list)
 
 
@@ -163,12 +165,16 @@ def run_observed(
     loss: "LossModel | None" = None,
     trace: bool = False,
     registry: MetricsRegistry | None = None,
+    flight: bool = False,
 ) -> ObservedRun:
     """Run *scheme* once on an *nodes*-node cluster, observed.
 
     The registry is attached directly to the run's own simulator
     (``cluster.sim.metrics``), so observation never leaks across runs
-    and the process-global default stays untouched.
+    and the process-global default stays untouched.  ``flight=True``
+    additionally attaches a full-sampling
+    :class:`~repro.obs.flight.FlightRecorder` (``run.flight``), whose
+    gauge samples feed the Chrome trace's counter tracks.
     """
     spec = get_scheme(scheme)
     cost = GMCostModel()
@@ -178,6 +184,12 @@ def run_observed(
     )
     registry = registry if registry is not None else MetricsRegistry()
     cluster.sim.metrics = registry
+    recorder = None
+    if flight:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(sample=1.0)
+        cluster.sim.flight = recorder
 
     dests = list(range(1, nodes))
     if spec.tree_uses_cost:
@@ -197,6 +209,7 @@ def run_observed(
         delivered=dict(result.get("delivered", {})),
         sim_time_us=cluster.now,
         tracer=cluster.sim.trace,
+        flight=recorder,
     )
 
 

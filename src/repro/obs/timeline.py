@@ -31,6 +31,7 @@ __all__ = [
     "SPAN_RULES",
     "chrome_trace",
     "chrome_trace_events",
+    "counter_events",
     "write_chrome_trace",
     "validate_chrome_trace",
     "spans_from_chrome_trace",
@@ -174,14 +175,49 @@ def chrome_trace_events(
     return meta + events
 
 
+def counter_events(
+    series: dict[str, list[tuple[float, int, float]]],
+) -> list[dict[str, Any]]:
+    """Gauge sample series as Chrome ``"C"`` counter events.
+
+    *series* is the :func:`repro.obs.flight.gauge_series` shape —
+    ``{name: [(t, node, value), ...]}``.  Each node's samples become a
+    counter track in that node's process rail (Perfetto draws one area
+    chart per ``(pid, name)``), so SRAM occupancy and send-window depth
+    ride alongside the tx spans they explain.
+    """
+    events: list[dict[str, Any]] = []
+    for name in sorted(series):
+        for t, node, value in series[name]:
+            events.append({
+                "name": name,
+                "ph": "C",
+                "ts": t,
+                "pid": node if node >= 0 else 0,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["name"]))
+    return events
+
+
 def chrome_trace(
     trace: Tracer | Iterable[TraceRecord],
     span_rules: Sequence[tuple[str, str, str, str]] = SPAN_RULES,
+    counters: dict[str, list[tuple[float, int, float]]] | None = None,
 ) -> dict[str, Any]:
-    """Full trace-event JSON object for *trace*."""
+    """Full trace-event JSON object for *trace*.
+
+    ``counters`` optionally appends gauge series (the
+    :func:`repro.obs.flight.gauge_series` shape) as ``"C"`` counter
+    tracks.
+    """
     records = trace.records if isinstance(trace, Tracer) else trace
+    events = chrome_trace_events(records, span_rules)
+    if counters:
+        events += counter_events(counters)
     return {
-        "traceEvents": chrome_trace_events(records, span_rules),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.obs", "time_unit": "us"},
     }
@@ -191,9 +227,10 @@ def write_chrome_trace(
     path: str,
     trace: Tracer | Iterable[TraceRecord],
     span_rules: Sequence[tuple[str, str, str, str]] = SPAN_RULES,
+    counters: dict[str, list[tuple[float, int, float]]] | None = None,
 ) -> dict[str, Any]:
     """Write trace-event JSON to *path* and return the payload."""
-    payload = chrome_trace(trace, span_rules)
+    payload = chrome_trace(trace, span_rules, counters=counters)
     errors = validate_chrome_trace(payload)
     if errors:  # pragma: no cover - exporter bug guard
         raise ValueError(f"refusing to write malformed trace: {errors[:3]}")
@@ -209,7 +246,8 @@ def validate_chrome_trace(payload: Any) -> list[str]:
     Checks the trace-event schema fields CI gates on: every event has a
     known ``ph``, and every non-metadata event carries a numeric
     non-negative ``ts``, integer ``pid``/``tid``, and a string ``name``;
-    ``"X"`` events additionally need a non-negative ``dur``.
+    ``"X"`` events additionally need a non-negative ``dur``, and ``"C"``
+    counter events an ``args`` object of numeric series values.
     """
     errors: list[str] = []
     if not isinstance(payload, dict) or "traceEvents" not in payload:
@@ -243,6 +281,19 @@ def validate_chrome_trace(payload: Any) -> list[str]:
                     or dur < 0):
                 errors.append(
                     f"{where}: X event needs non-negative dur (got {dur!r})"
+                )
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(
+                    f"{where}: C event needs a non-empty args object"
+                )
+            elif any(
+                not isinstance(v, (int, float)) or isinstance(v, bool)
+                for v in args.values()
+            ):
+                errors.append(
+                    f"{where}: C event args must be numeric series values"
                 )
     return errors
 

@@ -1,0 +1,201 @@
+"""Windowed time-series snapshots of a metrics registry.
+
+Long-running serving workloads (:mod:`repro.workload.serving`) end with
+one aggregate registry snapshot — throughput *over time* is invisible.
+:class:`TimeSeriesRecorder` samples the registry at a fixed simulated
+interval: each window captures the cumulative value of every counter
+under the configured prefixes, the per-window delta, and bucketed
+quantiles of the configured histograms.
+
+Sampling is a bounded host program (one ``timeout`` per window), so it
+adds scheduler events but reads protocol state only — it never mutates
+anything, and a run with the sampler installed delivers the same
+messages at the same instants.  Install it through the duck-typed
+``Harness.timeseries`` slot (the scenario layer calls ``install`` /
+``finalize`` without importing obs), or directly on any simulator.
+
+The invariant the acceptance test pins: after :meth:`finalize`, the sum
+of per-window counter deltas equals the final registry value for every
+tracked counter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Generator, Iterable
+
+__all__ = ["TimeSeriesRecorder", "render_timeseries"]
+
+#: Counter-name prefixes captured by default.
+DEFAULT_PREFIXES = ("serving", "net", "proto", "mcast")
+#: Histograms whose quantiles are captured by default.
+DEFAULT_HISTOGRAMS = ("serving.delivery_us",)
+DEFAULT_QUANTILES = (0.50, 0.99)
+
+
+class TimeSeriesRecorder:
+    """Periodic windowed snapshots of one registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` to sample.
+    interval_us:
+        Simulated microseconds between windows.
+    prefixes:
+        Counter sections to track (name up to the first dot, or any
+        dotted prefix).
+    histograms / quantiles:
+        Histogram names and quantile points to capture per window.
+    """
+
+    def __init__(
+        self,
+        registry: Any,
+        interval_us: float = 1000.0,
+        prefixes: Iterable[str] = DEFAULT_PREFIXES,
+        histograms: Iterable[str] = DEFAULT_HISTOGRAMS,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+    ):
+        if interval_us <= 0:
+            raise ValueError(
+                f"interval_us must be positive, got {interval_us}"
+            )
+        self.registry = registry
+        self.interval_us = interval_us
+        self.prefixes = tuple(prefixes)
+        self.histograms = tuple(histograms)
+        self.quantiles = tuple(quantiles)
+        self.snapshots: list[dict[str, Any]] = []
+        self._prev: dict[str, float] = {}
+        self._finalized = False
+
+    # -- sampling ----------------------------------------------------------
+    def _counters(self) -> dict[str, float]:
+        reg = self.registry
+        out: dict[str, float] = {}
+        for name in reg.names():
+            if not any(
+                name == p or name.startswith(p + ".")
+                for p in self.prefixes
+            ):
+                continue
+            inst = reg.get(name)
+            value = getattr(inst, "value", None)
+            if isinstance(value, (int, float)):
+                out[name] = value
+        return out
+
+    def _quantile_block(self) -> dict[str, dict[str, float]]:
+        reg = self.registry
+        out: dict[str, dict[str, float]] = {}
+        for name in self.histograms:
+            inst = reg.get(name)
+            if inst is None or not hasattr(inst, "percentile"):
+                continue
+            block = {"count": inst.count, "mean": inst.mean}
+            for q in self.quantiles:
+                block[f"p{int(q * 100)}"] = (
+                    inst.percentile(q) if inst.count else 0.0
+                )
+            out[name] = block
+        return out
+
+    def take(self, now: float) -> dict[str, Any]:
+        """Capture one window ending at *now* (appended and returned)."""
+        counters = self._counters()
+        deltas = {
+            name: value - self._prev.get(name, 0.0)
+            for name, value in counters.items()
+        }
+        snap = {
+            "t": now,
+            "window": len(self.snapshots),
+            "counters": counters,
+            "deltas": deltas,
+            "quantiles": self._quantile_block(),
+        }
+        self._prev = counters
+        self.snapshots.append(snap)
+        return snap
+
+    # -- wiring (duck-typed from the scenario layer) -----------------------
+    def install(self, sim: Any, duration_us: float) -> None:
+        """Spawn the bounded sampler on *sim* (one window per interval).
+
+        The sampler is a plain host program: ``floor(duration /
+        interval)`` timeouts, then it ends — runs to quiescence are not
+        kept alive past the workload.
+        """
+        n = int(duration_us // self.interval_us)
+        if n <= 0:
+            return
+
+        def sampler() -> Generator:
+            for _ in range(n):
+                yield sim.timeout(self.interval_us)
+                self.take(sim.now)
+
+        sim.process(sampler(), name="obs.timeseries")
+
+    def finalize(self, now: float) -> None:
+        """Append the closing window so totals match the final registry."""
+        if not self._finalized:
+            self._finalized = True
+            self.take(now)
+
+    # -- output ------------------------------------------------------------
+    def totals(self) -> dict[str, float]:
+        """Sum of per-window deltas per counter (== final cumulative)."""
+        out: dict[str, float] = {}
+        for snap in self.snapshots:
+            for name, d in snap["deltas"].items():
+                out[name] = out.get(name, 0.0) + d
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interval_us": self.interval_us,
+            "prefixes": list(self.prefixes),
+            "windows": len(self.snapshots),
+            "snapshots": self.snapshots,
+            "totals": self.totals(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+
+def render_timeseries(
+    ts: TimeSeriesRecorder,
+    counters: Iterable[str] = ("serving.msgs_posted",
+                               "serving.msgs_delivered"),
+) -> str:
+    """A per-window text table: deltas of *counters* + quantiles."""
+    from repro.experiments.report import render_table
+
+    names = [n for n in counters if any(
+        n in snap["counters"] for snap in ts.snapshots
+    )]
+    headers = ["window", "t us"] + [f"d {n.split('.', 1)[-1]}"
+                                    for n in names]
+    # Histograms appear once first fed, so the *last* window names them.
+    qnames = list(ts.snapshots[-1]["quantiles"]) if ts.snapshots else []
+    for qn in qnames:
+        for q in ts.quantiles:
+            headers.append(f"{qn.split('.', 1)[-1]} p{int(q * 100)}")
+    rows = []
+    for snap in ts.snapshots:
+        row = [str(snap["window"]), f"{snap['t']:g}"]
+        row += [f"{snap['deltas'].get(n, 0.0):g}" for n in names]
+        for qn in qnames:
+            block = snap["quantiles"].get(qn, {})
+            for q in ts.quantiles:
+                row.append(f"{block.get(f'p{int(q * 100)}', 0.0):.1f}")
+        rows.append(row)
+    head = [
+        f"## time series: {len(ts.snapshots)} windows at "
+        f"{ts.interval_us:g}us",
+        "",
+    ]
+    return "\n".join(head) + render_table(headers, rows)

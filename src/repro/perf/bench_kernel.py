@@ -272,7 +272,10 @@ def run_bench(
     """Run the full benchmark and return the report dict."""
     from repro.perf.bench_parallel import bench_parallel
     from repro.perf.bench_resilience import bench_resilience
-    from repro.perf.bench_serving import bench_serving
+    from repro.perf.bench_serving import (
+        bench_serving,
+        bench_telemetry_overhead,
+    )
 
     jobs = jobs if jobs is not None else default_jobs()
     report: dict[str, Any] = {
@@ -284,6 +287,10 @@ def run_bench(
         "serving": bench_serving(repeats=3, smoke=smoke),
         "parallel": bench_parallel(repeats=3, smoke=smoke),
         "timers": bench_timer_churn(),
+        # report-only section (attached recording pays for what it
+        # keeps; only the *detached* ratio is asserted, inside the
+        # bench itself)
+        "telemetry": bench_telemetry_overhead(repeats=3, smoke=smoke),
         # report-only (simulated-time recovery characteristics, no gate)
         "resilience": bench_resilience(),
         "figures": {},

@@ -140,11 +140,27 @@ class Harness:
     ``registry`` — an optional metrics registry (duck-typed; normally a
     :class:`repro.obs.registry.MetricsRegistry`) adopted by every
     simulator the harness builds, via the ``sim.metrics`` slot.
+
+    ``flight`` — an optional flight recorder (duck-typed; normally a
+    :class:`repro.obs.flight.FlightRecorder`), adopted the same way via
+    ``sim.flight``.  ``timeseries`` — an optional windowed sampler
+    (normally a :class:`repro.obs.timeseries.TimeSeriesRecorder`),
+    installed on serving clusters for the traffic duration through its
+    ``install``/``finalize`` protocol.  All three slots keep this
+    package observer-free: it never imports ``repro.obs``.
     """
 
-    def __init__(self, spec: ScenarioSpec, registry: Any = None):
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        registry: Any = None,
+        flight: Any = None,
+        timeseries: Any = None,
+    ):
         self.spec = spec
         self.registry = registry
+        self.flight = flight
+        self.timeseries = timeseries
 
     # -- lifecycle -----------------------------------------------------------
     def build_cluster(self) -> Cluster:
@@ -152,6 +168,12 @@ class Harness:
         cluster = Cluster(self.spec.cluster)
         if self.registry is not None:
             cluster.sim.metrics = self.registry
+        if self.flight is not None:
+            cluster.sim.flight = self.flight
+        if self.timeseries is not None and self.spec.traffic is not None:
+            self.timeseries.install(
+                cluster.sim, self.spec.traffic.duration_us
+            )
         return cluster
 
     def run(self) -> ScenarioResult:

@@ -65,12 +65,21 @@ def build_shard(
     plan: PartitionPlan,
     shard_id: int,
     registry: Any = None,
+    flight: Any = None,
 ) -> Cluster:
-    """Shard *shard_id*'s cluster: local nodes only, links ownership-stamped."""
+    """Shard *shard_id*'s cluster: local nodes only, links ownership-stamped.
+
+    ``flight`` is a shard-private flight recorder (duck-typed; normally
+    one ``FlightRecorder.fork()`` per shard — recorders must not be
+    shared across shards, or conductor interleaving would scramble the
+    append order the merge relies on).
+    """
     cluster = Cluster(spec.cluster, local_nodes=plan.shard_nodes(shard_id))
     plan.bind(cluster.topology)
     if registry is not None:
         cluster.sim.metrics = registry
+    if flight is not None:
+        cluster.sim.flight = flight
     return cluster
 
 
@@ -88,8 +97,9 @@ class _PointShard:
         shard_id: int,
         size: int,
         registry: Any = None,
+        flight: Any = None,
     ):
-        cluster = build_shard(spec, plan, shard_id, registry)
+        cluster = build_shard(spec, plan, shard_id, registry, flight=flight)
         self.cluster = cluster
         self.sim = cluster.sim
         self.network = cluster.network
@@ -267,12 +277,19 @@ def run_point_partitioned(harness: "Harness", size: int) -> Any:
     plan = make_plan(spec)
     kind = spec.workload.kind
     if spec.partition.processes:
+        # Process mode runs flight-detached: per-worker recorders would
+        # need their events piped back; in-process mode is the traced
+        # reference (identical schedules, so nothing is lost).
         results = run_sharded_processes(
             _point_factory, (spec.to_json(), size), plan
         )
         return _merge_point(kind, results)
+    flight = getattr(harness, "flight", None)
     shards = [
-        _PointShard(spec, plan, sid, size, registry=harness.registry)
+        _PointShard(
+            spec, plan, sid, size, registry=harness.registry,
+            flight=flight.fork() if flight is not None else None,
+        )
         for sid in range(plan.n_shards)
     ]
     ShardSet(
@@ -280,4 +297,8 @@ def run_point_partitioned(harness: "Harness", size: int) -> Any:
         [s.sim for s in shards],
         [s.network for s in shards],
     ).run()
+    if flight is not None:
+        from repro.sim.parallel import merge_flight_events
+
+        flight.absorb(merge_flight_events([s.sim for s in shards]))
     return _merge_point(kind, [s.result() for s in shards])

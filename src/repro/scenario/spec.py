@@ -35,6 +35,7 @@ __all__ = [
     "ScenarioSpec",
     "WorkloadSpec",
     "MeasurementSpec",
+    "TelemetrySpec",
     "TrafficSpec",
     "PartitionSpec",
     "PARTITIONABLE_KINDS",
@@ -217,6 +218,52 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """Flight-recorder / time-series request riding on a measurement.
+
+    ``sample`` is the fraction of root messages traced by the flight
+    recorder (:mod:`repro.obs.flight`), ``cap`` its ring-buffer event
+    capacity, ``interval_us`` the time-series window
+    (:mod:`repro.obs.timeseries`; only meaningful for serving runs).
+    Declaring telemetry in a spec does not by itself attach anything —
+    recorders are built and attached by the obs layer (the scenario
+    layer stays observer-free), so a detached run of the same spec is
+    byte-identical.
+    """
+
+    sample: float = 1.0
+    cap: int = 1 << 18
+    interval_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample <= 1.0:
+            raise ConfigError(
+                f"telemetry sample must be in [0, 1], got {self.sample}"
+            )
+        if self.cap < 1:
+            raise ConfigError(f"telemetry cap must be >= 1, got {self.cap}")
+        if self.interval_us <= 0:
+            raise ConfigError(
+                f"telemetry interval_us must be > 0, got {self.interval_us}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.sample != 1.0:
+            out["sample"] = self.sample
+        if self.cap != 1 << 18:
+            out["cap"] = self.cap
+        if self.interval_us != 1000.0:
+            out["interval_us"] = self.interval_us
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetrySpec":
+        _unknown_keys(data, cls, "telemetry spec")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class MeasurementSpec:
     """How a workload is timed (the paper's loop shape)."""
 
@@ -224,6 +271,8 @@ class MeasurementSpec:
     iterations: int = 30
     warmup: int = 5
     metric: str = ""  #: informational; defaults to the kind's metric
+    #: optional telemetry request (see :class:`TelemetrySpec`)
+    telemetry: "TelemetrySpec | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(self.sizes))
@@ -251,6 +300,8 @@ class MeasurementSpec:
         }
         if self.metric:
             out["metric"] = self.metric
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.to_dict()
         return out
 
     @classmethod
@@ -258,6 +309,10 @@ class MeasurementSpec:
         _unknown_keys(data, cls, "measurement spec")
         if "sizes" in data:
             data = dict(data, sizes=tuple(data["sizes"]))
+        if data.get("telemetry") is not None:
+            data = dict(
+                data, telemetry=TelemetrySpec.from_dict(data["telemetry"])
+            )
         return cls(**data)
 
 

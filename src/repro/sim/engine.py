@@ -42,7 +42,13 @@ from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 
-__all__ = ["Simulator", "URGENT", "NORMAL", "set_default_metrics"]
+__all__ = [
+    "Simulator",
+    "URGENT",
+    "NORMAL",
+    "set_default_metrics",
+    "set_default_flight",
+]
 
 #: Priority for internal immediate resumptions (processed before NORMAL
 #: events scheduled at the same instant).
@@ -80,6 +86,23 @@ def set_default_metrics(registry: Any) -> Any:
     global _DEFAULT_METRICS
     previous = _DEFAULT_METRICS
     _DEFAULT_METRICS = registry
+    return previous
+
+
+#: Flight recorder adopted by simulators created after
+#: :func:`set_default_flight`.  Same contract as ``_DEFAULT_METRICS``:
+#: duck-typed, ``None`` by default, never imported from the kernel —
+#: observers (``repro.obs.flight``) push a recorder down, either here or
+#: by assigning ``sim.flight`` directly.
+_DEFAULT_FLIGHT: Any = None
+
+
+def set_default_flight(recorder: Any) -> Any:
+    """Set the flight recorder future simulators attach to; returns the
+    old one.  Pass ``None`` to restore the unrecorded default."""
+    global _DEFAULT_FLIGHT
+    previous = _DEFAULT_FLIGHT
+    _DEFAULT_FLIGHT = recorder
     return previous
 
 
@@ -178,6 +201,12 @@ class Simulator:
         #: Metrics registry (duck-typed; see :func:`set_default_metrics`).
         #: ``None`` disables all instrumentation.
         self.metrics = _DEFAULT_METRICS
+        #: Per-packet flight recorder (duck-typed; see
+        #: :func:`set_default_flight`).  ``None`` disables hop recording:
+        #: every instrumentation site is a single attribute check, and a
+        #: recorder never touches the event queue, so attached and
+        #: detached runs replay byte-identically.
+        self.flight = _DEFAULT_FLIGHT
         #: Events processed by :meth:`step`/:meth:`run` over this
         #: simulator's lifetime.
         self.events_processed = 0

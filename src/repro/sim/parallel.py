@@ -69,6 +69,7 @@ __all__ = [
     "PARTITIONERS",
     "PartitionPlan",
     "ShardSet",
+    "merge_flight_events",
     "merge_traces",
     "run_sharded_processes",
 ]
@@ -413,6 +414,28 @@ def merge_traces(sims: Iterable["Simulator"]) -> list["TraceRecord"]:
         merged.extend(
             (rec.time, shard_id, i, rec)
             for i, rec in enumerate(sim.trace.records)
+        )
+    merged.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [item[3] for item in merged]
+
+
+def merge_flight_events(sims: Iterable["Simulator"]) -> list[Any]:
+    """All shards' flight-recorder hop events in global time order.
+
+    Duck-typed over each shard's ``sim.flight`` slot (shards without a
+    recorder contribute nothing); same ordering contract as
+    :func:`merge_traces` — append order within a shard, shard id on
+    ties.  Trace ids are per-origin allocations
+    (:mod:`repro.obs.flight`), so the merged stream needs no renumbering
+    whatever the shard count.
+    """
+    merged: list[tuple[float, int, int, Any]] = []
+    for shard_id, sim in enumerate(sims):
+        fr = getattr(sim, "flight", None)
+        if fr is None:
+            continue
+        merged.extend(
+            (ev[0], shard_id, i, ev) for i, ev in enumerate(fr.events)
         )
     merged.sort(key=lambda item: (item[0], item[1], item[2]))
     return [item[3] for item in merged]

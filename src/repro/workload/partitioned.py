@@ -30,7 +30,11 @@ from typing import TYPE_CHECKING, Any
 
 from repro.scenario.partition import build_shard, make_plan
 from repro.scenario.spec import ScenarioSpec
-from repro.sim.parallel import ShardSet, run_sharded_processes
+from repro.sim.parallel import (
+    ShardSet,
+    merge_flight_events,
+    run_sharded_processes,
+)
 from repro.workload.serving import ServingStats, TrafficEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -75,8 +79,9 @@ class _ServingShard:
         plan: "PartitionPlan",
         shard_id: int,
         registry: Any = None,
+        flight: Any = None,
     ):
-        cluster = build_shard(spec, plan, shard_id, registry)
+        cluster = build_shard(spec, plan, shard_id, registry, flight=flight)
         self.engine = TrafficEngine(spec, registry=registry, cluster=cluster)
         self.sim = cluster.sim
         self.network = cluster.network
@@ -97,7 +102,7 @@ def _serving_factory(
 
 
 def run_serving_partitioned(
-    spec: ScenarioSpec, registry: Any = None
+    spec: ScenarioSpec, registry: Any = None, flight: Any = None
 ) -> ServingStats:
     """Run a partitioned serving scenario; serial-equivalent stats.
 
@@ -106,6 +111,11 @@ def run_serving_partitioned(
     each worker a fresh registry of the same (duck-typed) class and
     folds the per-shard registries back into *registry* via its
     ``merge`` method afterwards.
+
+    ``flight`` (a :class:`repro.obs.flight.FlightRecorder`-shaped
+    object) is forked per shard in-process and the shard streams merged
+    back in global time order afterwards; process mode runs
+    flight-detached (per-worker events are not piped back).
     """
     plan = make_plan(spec)
     until = spec.traffic.duration_us
@@ -123,7 +133,10 @@ def run_serving_partitioned(
                     merge(shard_metrics)
     else:
         shards = [
-            _ServingShard(spec, plan, sid, registry=registry)
+            _ServingShard(
+                spec, plan, sid, registry=registry,
+                flight=flight.fork() if flight is not None else None,
+            )
             for sid in range(plan.n_shards)
         ]
         ShardSet(
@@ -132,6 +145,8 @@ def run_serving_partitioned(
             [s.network for s in shards],
         ).run(until=until)
         shard_stats = [s.engine.finalize() for s in shards]
+        if flight is not None:
+            flight.absorb(merge_flight_events([s.sim for s in shards]))
     merged = merge_serving_stats(shard_stats)
     if registry is not None:
         # Re-stamp the end-of-run gauges with the merged (global) rates;

@@ -382,8 +382,19 @@ def run_serving(harness: "Harness") -> dict[int, ServingStats]:
 
         return {
             0: run_serving_partitioned(
-                harness.spec, registry=harness.registry
+                harness.spec,
+                registry=harness.registry,
+                flight=getattr(harness, "flight", None),
             )
         }
-    stats = TrafficEngine(harness.spec, registry=harness.registry).run()
+    engine = TrafficEngine(harness.spec, registry=harness.registry)
+    flight = getattr(harness, "flight", None)
+    if flight is not None:
+        engine.cluster.sim.flight = flight
+    ts = getattr(harness, "timeseries", None)
+    if ts is not None:
+        ts.install(engine.cluster.sim, harness.spec.traffic.duration_us)
+    stats = engine.run()
+    if ts is not None:
+        ts.finalize(engine.cluster.sim.now)
     return {0: stats}

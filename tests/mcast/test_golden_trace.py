@@ -30,13 +30,17 @@ from repro.trees import build_tree
 FIXTURE = Path(__file__).with_name("golden_8node_trace.txt")
 
 
-def golden_lines(n=8, size=4096, seed=0):
+def golden_lines(n=8, size=4096, seed=0, flight=None):
     """Full trace of a retransmitting 8-node multicast, one line per record.
 
     Packet uids and message ids come from process-global allocators, so
     their absolute values depend on which tests ran earlier in the
     process; renumber both by first appearance so the fixture pins the
     *sequence*, not the allocator state.
+
+    ``flight`` optionally attaches a flight recorder to the run's
+    simulator — the observability tests re-run the fixture with one
+    attached to pin that hop recording never moves an event.
     """
     cost = GMCostModel()
     loss = ScriptedLoss(
@@ -47,6 +51,8 @@ def golden_lines(n=8, size=4096, seed=0):
     cluster = Cluster(
         ClusterConfig(n_nodes=n, cost=cost, seed=seed, trace=True), loss=loss
     )
+    if flight is not None:
+        cluster.sim.flight = flight
     dests = list(range(1, n))
     tree = build_tree(0, dests, shape="optimal", cost=cost, size=size)
     install_group(cluster, 1, tree)

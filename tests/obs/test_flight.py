@@ -1,0 +1,115 @@
+"""Flight-recorder unit behavior + the non-perturbation guarantees.
+
+The recorder's core promise is that attaching it never moves an event:
+instrumentation sites do one attribute check when detached and one list
+append when attached, and neither touches the event queue.  The tests
+here pin that promise against the two committed golden fixtures — the
+54-record 8-node multicast trace and the fig3 quick tables — with the
+recorder attached at ``sample=1.0`` and detached.
+"""
+
+from repro.obs.flight import (
+    EV_STAGE,
+    EV_TRACE,
+    ORIGIN_STRIDE,
+    FlightRecorder,
+    event_to_dict,
+    gauge_series,
+)
+
+from tests.mcast.test_golden_trace import FIXTURE, golden_lines
+
+
+# -- unit behavior ----------------------------------------------------------
+
+def test_trace_ids_are_per_origin():
+    fr = FlightRecorder()
+    assert fr.begin(0.0, 3, "mcast") == 3 * ORIGIN_STRIDE
+    assert fr.begin(1.0, 3, "mcast") == 3 * ORIGIN_STRIDE + 1
+    assert fr.begin(2.0, 5, "unicast") == 5 * ORIGIN_STRIDE
+    assert fr.traces() == [
+        3 * ORIGIN_STRIDE, 3 * ORIGIN_STRIDE + 1, 5 * ORIGIN_STRIDE
+    ]
+
+
+def test_sampling_is_a_deterministic_counter_walk():
+    fr = FlightRecorder(sample=0.25)
+    tids = [fr.begin(float(i), 0, "mcast") for i in range(20)]
+    sampled = [i for i, t in enumerate(tids) if t >= 0]
+    assert len(sampled) == 5  # floor walk: exactly a quarter
+    # Re-running the same walk gives the same decisions.
+    fr2 = FlightRecorder(sample=0.25)
+    assert [fr2.begin(float(i), 0, "m") for i in range(20)] == tids
+
+
+def test_sample_zero_records_nothing():
+    fr = FlightRecorder(sample=0.0)
+    assert fr.begin(0.0, 0, "mcast") == -1
+    assert len(fr) == 0
+
+
+def test_ring_overwrites_oldest_and_reorders_on_read():
+    fr = FlightRecorder(cap=4)
+    for i in range(6):
+        fr.record(float(i), 0, "tx", node=0, uid=i)
+    assert fr.dropped == 2
+    assert [ev[4] for ev in fr.events] == [2, 3, 4, 5]
+
+
+def test_fork_absorb_roundtrip():
+    fr = FlightRecorder(sample=0.5, cap=128)
+    shard = fr.fork()
+    assert (shard.sample, shard.cap) == (0.5, 128)
+    shard.record(1.0, 7, "deliver", node=2, uid=9)
+    fr.absorb(shard.events)
+    assert len(fr) == 1 and fr.events[0][EV_TRACE] == 7
+
+
+def test_event_to_dict_and_gauge_series():
+    fr = FlightRecorder()
+    fr.note(2.0, "gauge", 3, name="nic.send_buffers_in_use", value=5)
+    fr.note(4.0, "gauge", 3, name="nic.send_buffers_in_use", value=2)
+    ev = fr.events[0]
+    assert event_to_dict(ev) == {
+        "t": 2.0, "trace": -1, "stage": "gauge", "node": 3,
+        "name": "nic.send_buffers_in_use", "value": 5,
+    }
+    assert gauge_series(fr.events) == {
+        "nic.send_buffers_in_use": [(2.0, 3, 5), (4.0, 3, 2)],
+    }
+
+
+# -- non-perturbation against the golden fixtures ---------------------------
+
+def test_golden_trace_identical_with_flight_attached():
+    """Full-sampling hop recording must not move one of the 54 records."""
+    fr = FlightRecorder(sample=1.0)
+    attached = golden_lines(flight=fr)
+    assert attached == FIXTURE.read_text().splitlines()
+    # ...and the recorder actually saw the whole flight.
+    events = fr.events
+    stages = {ev[EV_STAGE] for ev in events}
+    assert {"post", "tx", "inject", "deliver", "host_deliver",
+            "drop"} <= stages
+    # The forced loss puts a Go-back-N resend on the wire: at least one
+    # transmission with attempt > 0.
+    from repro.obs.flight import EV_EXTRA
+    assert any(
+        ev[EV_STAGE] == "tx" and (ev[EV_EXTRA] or {}).get("attempt", 0) > 0
+        for ev in events
+    )
+    assert fr.traces() == [0]  # one root message, origin 0, first post
+
+
+def test_fig3_quick_tables_identical_with_flight_attached():
+    """The fig3 sweep renders byte-identically attached vs detached."""
+    from repro.experiments.cli import run_figure
+    from repro.sim.engine import set_default_flight
+
+    detached = run_figure("fig3", quick=True, jobs=1).render()
+    previous = set_default_flight(FlightRecorder(sample=1.0))
+    try:
+        attached = run_figure("fig3", quick=True, jobs=1).render()
+    finally:
+        set_default_flight(previous)
+    assert attached == detached

@@ -134,3 +134,40 @@ def test_events_sorted_by_time():
     ])
     ts = [e["ts"] for e in events if e["ph"] != "M"]
     assert ts == sorted(ts)
+
+
+def test_counter_events_from_gauge_series():
+    from repro.obs.timeline import counter_events
+
+    series = {
+        "nic.send_buffers_in_use": [(2.0, 1, 5), (1.0, 0, 3)],
+        "proto.send_window_depth": [(1.5, -1, 2.0)],
+    }
+    events = counter_events(series)
+    assert all(e["ph"] == "C" for e in events)
+    assert [(e["ts"], e["pid"], e["name"], e["args"]["value"])
+            for e in events] == [
+        (1.0, 0, "nic.send_buffers_in_use", 3),
+        (1.5, 0, "proto.send_window_depth", 2.0),  # node -1 -> pid 0
+        (2.0, 1, "nic.send_buffers_in_use", 5),
+    ]
+    payload = chrome_trace([], counters=series)
+    assert validate_chrome_trace(payload) == []
+
+
+def test_validator_rejects_malformed_counters():
+    def with_args(args):
+        return {"traceEvents": [
+            {"ph": "C", "name": "c", "pid": 0, "tid": 0, "ts": 1.0,
+             "args": args}]}
+
+    assert any("args" in e for e in validate_chrome_trace(with_args({})))
+    assert any(
+        "numeric" in e
+        for e in validate_chrome_trace(with_args({"value": "high"}))
+    )
+    assert any(
+        "numeric" in e
+        for e in validate_chrome_trace(with_args({"value": True}))
+    )
+    assert validate_chrome_trace(with_args({"value": 4})) == []

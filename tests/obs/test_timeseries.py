@@ -1,0 +1,82 @@
+"""Time-series acceptance: windowed snapshots of a serving run.
+
+Drives the committed ``examples/scenarios/serving_churn.json`` workload
+(20ms, 8 groups, churn) with a :class:`TimeSeriesRecorder` attached and
+pins the acceptance bars: at least 10 windowed snapshots, and per-window
+deltas that total exactly to the final registry snapshot.  Also pins
+that installing the sampler does not perturb the workload itself.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.workload  # noqa: F401  (registers the serving runner)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder, render_timeseries
+from repro.scenario.harness import Harness
+from repro.scenario.spec import ScenarioSpec
+
+SPEC_PATH = (
+    Path(__file__).resolve().parents[2]
+    / "examples" / "scenarios" / "serving_churn.json"
+)
+
+
+def _load_spec() -> ScenarioSpec:
+    return ScenarioSpec.from_dict(json.loads(SPEC_PATH.read_text()))
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    spec = _load_spec()
+    registry = MetricsRegistry()
+    ts = TimeSeriesRecorder(registry, interval_us=1000.0)
+    result = Harness(spec, registry=registry, timeseries=ts).run()
+    return spec, registry, ts, result.values[0]
+
+
+def test_emits_at_least_ten_windows(recorded):
+    spec, _registry, ts, _stats = recorded
+    # 20000us at 1000us windows: 20 sampler windows + the closing one.
+    assert len(ts.snapshots) >= 10
+    assert ts.snapshots[-1]["t"] == spec.traffic.duration_us
+    windows = [s["window"] for s in ts.snapshots]
+    assert windows == list(range(len(windows)))
+
+
+def test_delta_totals_match_final_registry(recorded):
+    _spec, registry, ts, stats = recorded
+    totals = ts.totals()
+    assert totals, "serving counters must be tracked"
+    for name, total in totals.items():
+        assert total == pytest.approx(registry.value(name)), name
+    assert totals["serving.msgs_delivered"] == stats.msgs_delivered
+    assert totals["serving.msgs_posted"] == stats.msgs_posted
+
+
+def test_quantile_blocks_track_delivery_histogram(recorded):
+    _spec, registry, ts, _stats = recorded
+    last = ts.snapshots[-1]["quantiles"]
+    assert "serving.delivery_us" in last
+    hist = registry.get("serving.delivery_us")
+    assert last["serving.delivery_us"]["count"] == hist.count
+    assert last["serving.delivery_us"]["p99"] == hist.percentile(0.99)
+
+
+def test_render_and_dict_shapes(recorded):
+    _spec, _registry, ts, _stats = recorded
+    text = render_timeseries(ts)
+    assert "time series" in text and "msgs_delivered" in text
+    payload = ts.to_dict()
+    assert payload["windows"] == len(ts.snapshots)
+    json.dumps(payload)  # JSON-ready end to end
+
+
+def test_sampler_does_not_perturb_the_workload(recorded):
+    _spec, _registry, _ts, stats = recorded
+    bare = Harness(_load_spec()).run().values[0]
+    assert bare.msgs_posted == stats.msgs_posted
+    assert bare.msgs_delivered == stats.msgs_delivered
+    assert bare.latencies_us == stats.latencies_us

@@ -12,18 +12,23 @@ Three rules are load-bearing enough to gate CI on:
 * ``repro.obs`` is the observation layer on *top*: it may import from
   every layer, but nothing outside ``repro.obs``, ``repro.experiments``,
   and ``repro.perf`` may import it back (instrumented layers reach the
-  registry only through the duck-typed ``sim.metrics`` slot — no
-  instrumentation back-edges);
+  registry only through the duck-typed ``sim.metrics`` slot and the
+  flight recorder only through ``sim.flight`` — no instrumentation
+  back-edges).  ``repro.obs.flight`` gets its own dedicated back-edge
+  check on top of the package-wide one: hot-path layers must never
+  grow a direct dependency on the recorder type;
 * ``repro.scenario`` sits between the protocol engines and the
   experiment harness: it may import anything below it but never
-  ``repro.experiments`` or ``repro.obs``, and only ``repro.scenario``,
-  ``repro.workload``, ``repro.experiments``, and ``repro.perf`` may
-  import it back (the engines stay spec-agnostic);
+  ``repro.experiments``, and only ``repro.scenario``,
+  ``repro.workload``, ``repro.experiments``, ``repro.perf``, and
+  ``repro.obs`` (the observation layer drives specs through the
+  harness) may import it back (the engines stay spec-agnostic);
 * ``repro.workload`` (sustained-traffic generators) sits just above the
   scenario layer: it may import the engines and ``repro.scenario`` (it
   registers its runner with the harness on import) but never
   ``repro.experiments`` or ``repro.obs``, and only ``repro.workload``,
-  ``repro.experiments``, and ``repro.perf`` may import it back.
+  ``repro.experiments``, ``repro.perf``, and ``repro.obs`` may import
+  it back.
 
 * ``repro.trees`` is pure structure (shapes, backup/repair managers,
   deadlock-feasibility checks): it may never import ``repro.mcast`` —
@@ -118,10 +123,15 @@ ALLOWED = {
 
 #: Packages (and top-level modules) allowed to import ``repro.obs``.
 OBS_IMPORTERS = ("obs", "experiments", "perf")
+#: Packages allowed to import ``repro.obs.flight`` specifically — same
+#: set today, but checked separately so a future widening of
+#: OBS_IMPORTERS cannot silently hand the hot-path recorder type to a
+#: lower layer (instrumentation sites stay duck-typed on ``sim.flight``).
+OBS_FLIGHT_IMPORTERS = ("obs", "experiments", "perf")
 #: Packages (and top-level modules) allowed to import ``repro.scenario``.
-SCENARIO_IMPORTERS = ("scenario", "workload", "experiments", "perf")
+SCENARIO_IMPORTERS = ("scenario", "workload", "experiments", "perf", "obs")
 #: Packages (and top-level modules) allowed to import ``repro.workload``.
-WORKLOAD_IMPORTERS = ("workload", "experiments", "perf")
+WORKLOAD_IMPORTERS = ("workload", "experiments", "perf", "obs")
 
 #: Modules allowed to subscribe to failure-injector hooks
 #: (``<injector>.subscribe(cb)``).  Failure *detection* is a protocol /
@@ -183,6 +193,13 @@ def check_back_edges(
 def check_obs_back_edges() -> list[str]:
     return check_back_edges(
         "obs", OBS_IMPORTERS, "instrumentation back-edge"
+    )
+
+
+def check_obs_flight_back_edges() -> list[str]:
+    return check_back_edges(
+        "obs.flight", OBS_FLIGHT_IMPORTERS,
+        "hot paths reach the flight recorder only via sim.flight"
     )
 
 
@@ -279,6 +296,7 @@ def main() -> int:
     for package, allowed in ALLOWED.items():
         violations.extend(check_package(package, allowed))
     violations.extend(check_obs_back_edges())
+    violations.extend(check_obs_flight_back_edges())
     violations.extend(check_scenario_back_edges())
     violations.extend(check_workload_back_edges())
     violations.extend(check_failure_subscribers())
