@@ -18,4 +18,5 @@ FIGURES = {
     "fig6": "repro.experiments.fig6",
     "fig7": "repro.experiments.fig7",
     "fig8": "repro.experiments.fig8",
+    "fig9": "repro.experiments.fig9",
 }

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.gm.api import GMPort, RecvCompletion, SendCommand
 from repro.gm.memory import RegisteredMemory
 from repro.gm.tokens import ReceiveToken, SendToken
@@ -36,6 +36,7 @@ from repro.net.packet import (
 from repro.nic.descriptor import PacketDescriptor
 from repro.nic.lanai import NIC, TX_PRIO_DATA
 from repro.proto import NEVER, GoBackN, RetransmitTimer, SendWindow, send_ack
+from repro.proto.engines import get_engine, unicast_engines
 from repro.sim.resources import EMPTY, Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -144,11 +145,28 @@ class _GMGoBackN(GoBackN):
 class GMEngine:
     """One GM protocol instance, bound to one NIC."""
 
-    def __init__(self, nic: NIC, memory: RegisteredMemory | None = None):
+    def __init__(
+        self,
+        nic: NIC,
+        memory: RegisteredMemory | None = None,
+        reliability: str = "ack_window",
+    ):
         self.nic = nic
         self.sim = nic.sim
         self.cost = nic.cost
         self.memory = memory or RegisteredMemory(nic.id)
+        family = get_engine(reliability)
+        if not family.unicast:
+            raise ConfigError(
+                f"reliability engine {reliability!r} cannot drive GM "
+                f"unicast connections; unicast-capable engines: "
+                f"{', '.join(unicast_engines())}"
+            )
+        self.reliability = reliability
+        #: receiver half of the unicast reliability engine; GM's
+        #: ``Connection`` plays the engine's "group" role (only
+        #: ``recv_seq`` is touched by unicast-capable families).
+        self._receiver = family.receiver_cls(self)
         self.ports: dict[int, GMPort] = {}
         self._send_conns: dict[tuple, Connection] = {}
         self._recv_conns: dict[tuple, Connection] = {}
@@ -392,7 +410,8 @@ class GMEngine:
         h = pkt.header
         m = self.sim.metrics
         conn = self.recv_conn(h.src, h.from_port, h.port)
-        if h.seq <= conn.recv_seq:
+        verdict = self._receiver.classify(conn, h)
+        if verdict == "duplicate":
             # Duplicate (our ACK was probably lost): drop, re-ack.
             self.duplicates_dropped += 1
             if m is not None:
@@ -401,7 +420,7 @@ class GMEngine:
                 buf.release()
             yield from self._send_ack(conn, h)
             return
-        if h.seq != conn.recv_seq + 1:
+        if verdict != "accept":
             # Out of order: Go-back-N receivers drop and wait.
             self.out_of_order_dropped += 1
             if m is not None:
@@ -443,7 +462,7 @@ class GMEngine:
             conn.inflight[h.msg_id] = msg
         if h.chunk == 0 and h.info.get("app") is not None:
             msg.app_info = h.info["app"]
-        conn.recv_seq = h.seq
+        self._receiver.on_accept(conn, h)
         if m is not None:
             m.observe("nic.recv_service_us", self.sim.now - arrived_at)
         yield from self._send_ack(conn, h)

@@ -75,6 +75,12 @@ class McastEngine:
         nic.packet_handlers[PacketType.MCAST_ACK] = (
             self.reliability._handle_mcast_ack
         )
+        nic.packet_handlers[PacketType.MCAST_NACK] = (
+            self.reliability._handle_mcast_nack
+        )
+        nic.packet_handlers[PacketType.MCAST_FEC] = (
+            self.forwarding._handle_mcast_fec
+        )
 
     # -- group management -------------------------------------------------
     def _handle_create_group(self, cmd: CreateGroupCommand) -> Generator:
@@ -138,7 +144,7 @@ class McastEngine:
             self.reliability.arm(group, record)
             if m is not None:
                 m.inc("mcast.recovery.replays")
-            yield from self.reliability._retransmit_packet(
+            yield from self.reliability.retransmit(
                 group, record, cmd.child, replay=True
             )
 

@@ -70,15 +70,21 @@ class Forwarding:
             if buf is not None:
                 buf.release()
             return
-        if h.seq <= group.recv_seq:
+        # The group's reliability family decides acceptance.  For the
+        # ack-window family the hooks are pure (zero simulated events):
+        # duplicate iff seq <= recv_seq, accept iff seq == recv_seq + 1.
+        receiver = self.engine.reliability.receiver_engine(group)
+        verdict = receiver.classify(group, h)
+        if verdict == "duplicate":
             self.engine.duplicates_dropped += 1
             if m is not None:
                 m.inc("mcast.drops.duplicate")
             if buf is not None:
                 buf.release()
+            # Re-ack: exactly-once delivery must survive lost acks.
             yield from self.engine.reliability.send_group_ack(group)
             return
-        if h.seq != group.recv_seq + 1:
+        if verdict != "accept":
             self.engine.out_of_order_dropped += 1
             if m is not None:
                 m.inc("mcast.drops.out_of_order")
@@ -116,13 +122,14 @@ class Forwarding:
             group.msg_meta[h.msg_id] = (
                 h.seq, h.nchunks, h.msg_size, h.trace_id
             )
-        group.recv_seq = h.seq
+        receiver.on_accept(group, h)
         ev = cpu.use_fast(self.cost.nic_group_lookup)
         if ev is None:
             yield from cpu.use(self.cost.nic_group_lookup)
         else:
             yield ev
-        yield from self.engine.reliability.send_group_ack(group)
+        if receiver.ack_after_accept(group, h):
+            yield from self.engine.reliability.send_group_ack(group)
 
         # The same SRAM bytes are now wanted by two engines: the transmit
         # path (forwarding replicas) and the receive DMA (host copy).
@@ -194,6 +201,33 @@ class Forwarding:
                 chunk=h.chunk, first_child=first,
             )
         self.nic.queue_tx(desc, TX_PRIO_DATA)
+        self.engine.reliability.sender_engine(group).on_data_queued(
+            group, record
+        )
+
+    def _handle_mcast_fec(self, pkt: Packet, buf: Any) -> Generator:
+        """Parity packet (NACK+FEC family): hand it to the receiver
+        engine, which may reconstruct one lost data packet in place
+        (no repair round-trip).  Parity is hop-local — it is consumed
+        here, never forwarded; each forwarding hop emits its own."""
+        cpu = self.nic.cpu
+        ev = cpu.use_fast(self.cost.nic_recv_processing)
+        if ev is None:
+            yield from cpu.use(self.cost.nic_recv_processing)
+        else:
+            yield ev
+        h = pkt.header
+        group = self.table.get(h.group)
+        if buf is not None:
+            buf.release()
+        if group is None or group.is_root:
+            self.engine.unknown_group_dropped += 1
+            m = self.sim.metrics
+            if m is not None:
+                m.inc("mcast.drops.unknown_group")
+            return
+        receiver = self.engine.reliability.receiver_engine(group)
+        yield from receiver.on_parity(group, pkt)
 
     def _hold_message(self, group: "GroupState", h, rtoken) -> "_HeldMessage":
         from repro.mcast.group import _HeldMessage

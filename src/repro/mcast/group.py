@@ -20,6 +20,7 @@ from repro.errors import GroupError
 from repro.gm.tokens import SendToken
 from repro.nic.lanai import HostCommand
 from repro.proto import SendWindow
+from repro.proto.engines import get_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gm.memory import RegisteredRegion
@@ -73,6 +74,16 @@ class GroupState:
     parent: int | None
     children: tuple[int, ...]
     port_num: int = 0
+    #: hops from the tree root (0 at the root); the NACK family scales
+    #: its suppression timers by it — repairs cascade down the tree, so
+    #: deeper receivers wait longer before concluding nobody upstream
+    #: is already handling their gap
+    depth: int = 0
+    #: reliability engine family driving this group's windows (a
+    #: :mod:`repro.proto.engines` registry name)
+    reliability_family: str = "ack_window"
+    #: family-specific tunable overrides (engine defaults fill the rest)
+    reliability_params: dict = field(default_factory=dict)
 
     # (2) send sequence number (root allocates; intermediates reuse the
     # root's numbers — "the same sequence number and send record").
@@ -100,6 +111,9 @@ class GroupState:
     #: component on first arm (stays with this state across replacement,
     #: like the timer closures it supersedes)
     timer: "RetransmitTimer | None" = field(default=None, init=False, repr=False)
+    #: engine-owned scratch state (receiver gap tracking, parity blocks,
+    #: repair suppression); see :mod:`repro.proto.engines.base`
+    rel_state: dict = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.parent is None and self.root is not None:
@@ -157,9 +171,19 @@ class GroupTable:
 
 
 def local_views(
-    group_id: int, tree: "SpanningTree", port_num: int = 0
+    group_id: int,
+    tree: "SpanningTree",
+    port_num: int = 0,
+    family: str = "ack_window",
+    params: dict | None = None,
 ) -> dict[int, GroupState]:
-    """Split a spanning tree into per-node group-table entries."""
+    """Split a spanning tree into per-node group-table entries.
+
+    ``family``/``params`` pick the reliability engine driving every
+    member's window (validated eagerly against the engine registry);
+    all members of a group run the same family.
+    """
+    get_engine(family)  # unknown family fails here, not mid-broadcast
     views: dict[int, GroupState] = {}
     for node in tree.nodes:
         parent = tree.parent_of(node)
@@ -169,6 +193,9 @@ def local_views(
             parent=parent,
             children=tree.children_of(node),
             port_num=port_num,
+            depth=tree.depth_of(node),
+            reliability_family=family,
+            reliability_params=dict(params) if params else {},
         )
     return views
 

@@ -44,16 +44,24 @@ def next_group_id() -> int:
 
 
 def install_group(
-    cluster: "Cluster", group_id: int, tree: "SpanningTree", port_num: int = 0
+    cluster: "Cluster",
+    group_id: int,
+    tree: "SpanningTree",
+    port_num: int = 0,
+    family: str = "ack_window",
+    params: dict | None = None,
 ) -> None:
     """Prepost *tree* into every member NIC's group table (zero cost).
 
     On a partitioned shard (a cluster built with ``local_nodes``) only
     the shard-local members' tables exist; the other shards install the
     same tree into theirs, so the union covers the whole group.
+    ``family``/``params`` select the group's reliability engine
+    (see :mod:`repro.proto.engines`).
     """
     is_local = getattr(cluster, "is_local", None)
-    for node_id, state in local_views(group_id, tree, port_num).items():
+    views = local_views(group_id, tree, port_num, family, params)
+    for node_id, state in views.items():
         if is_local is not None and not is_local(node_id):
             continue
         cluster.node(node_id).mcast.install_group_now(state)

@@ -100,6 +100,9 @@ class Multisend:
         )
         record.sent_at = self.sim.now
         self.nic.queue_tx(desc, TX_PRIO_DATA)
+        self.engine.reliability.sender_engine(group).on_data_queued(
+            group, record
+        )
 
     def _make_record(
         self,

@@ -13,6 +13,16 @@ from :mod:`repro.proto`; this module binds them to multicast groups:
 the window is the group's record table, the sweep is the per-child
 *selective* Go-back-N, and retransmitted data is re-fetched from the
 (still registered) host replica.
+
+Since the reliability-engine refactor this component is also the
+**transport adapter** behind the pluggable families of
+:mod:`repro.proto.engines`: each group names its family
+(``group.reliability_family``), and this class dispatches gap reports
+(MCAST_NACK) and repair/regeneration work to the family's sender
+engine while exposing the wire-level helpers (group acks, NACKs,
+retransmission staging, record regeneration, packet injection) the
+engines drive.  The receive-side hooks are dispatched by
+:class:`~repro.mcast.forward.Forwarding`.
 """
 
 from __future__ import annotations
@@ -20,15 +30,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.net.packet import GM_HEADER_BYTES, Packet, PacketType
+from repro.net.packet import GM_HEADER_BYTES, Packet, PacketType, make_packet
 from repro.nic.descriptor import PacketDescriptor
-from repro.nic.lanai import TX_PRIO_DATA
+from repro.nic.lanai import TX_PRIO_ACK, TX_PRIO_DATA
 from repro.proto import NEVER, RetransmitTimer, SelectiveGoBackN, send_ack
+from repro.proto.engines import get_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gm.tokens import SendToken
     from repro.mcast.engine import McastEngine
     from repro.mcast.group import GroupState
+    from repro.proto.engines import ReceiverEngine, SenderEngine
 
 __all__ = ["McastRecord", "McastReliability"]
 
@@ -91,7 +103,7 @@ class _McastSelectiveGoBackN(SelectiveGoBackN):
         self.rel.arm(group, record)
 
     def resend(self, record: McastRecord, *, child: int, group: "GroupState") -> Generator:
-        yield from self.rel._retransmit_packet(group, record, child)
+        yield from self.rel.retransmit(group, record, child)
 
 
 class McastReliability:
@@ -109,6 +121,28 @@ class McastReliability:
         self.cost = engine.cost
         self.table = engine.table
         self.policy = _McastSelectiveGoBackN(self)
+        #: family name -> (sender, receiver) engine pair for this node.
+        #: Engines are stateless per instance (per-group state lives in
+        #: ``group.rel_state``), so one pair per family suffices.
+        self._engines: dict[str, tuple["SenderEngine", "ReceiverEngine"]] = {}
+
+    # -- engine dispatch ----------------------------------------------------
+    def engine_pair(
+        self, group: "GroupState"
+    ) -> tuple["SenderEngine", "ReceiverEngine"]:
+        """The (sender, receiver) engines driving *group*'s family."""
+        pair = self._engines.get(group.reliability_family)
+        if pair is None:
+            family = get_engine(group.reliability_family)
+            pair = (family.sender_cls(self), family.receiver_cls(self))
+            self._engines[group.reliability_family] = pair
+        return pair
+
+    def sender_engine(self, group: "GroupState") -> "SenderEngine":
+        return self.engine_pair(group)[0]
+
+    def receiver_engine(self, group: "GroupState") -> "ReceiverEngine":
+        return self.engine_pair(group)[1]
 
     # -- ACK reception ------------------------------------------------------
     def _handle_mcast_ack(self, pkt: Packet, _buf: Any) -> Generator:
@@ -128,20 +162,52 @@ class McastReliability:
             return  # not one of ours
         if h.ack_seq <= group.child_acked[child]:
             return  # stale
-        group.child_acked[child] = h.ack_seq
+        self._apply_child_ack(group, child, h.ack_seq, pkt.uid)
+
+    def _apply_child_ack(
+        self, group: "GroupState", child: int, ack_seq: int, pkt_uid: int
+    ) -> None:
+        """Advance one child's cumulative ack and retire covered records.
+
+        Shared by the MCAST_ACK handler and the ack piggybacked on every
+        MCAST_NACK (for the NACK families, gap reports carry the
+        reporter's contiguous prefix).
+        """
+        group.child_acked[child] = ack_seq
         m = self.sim.metrics
         fr = self.sim.flight
-        for record in group.window.ack_from_child(child, h.ack_seq):
+        for record in group.window.ack_from_child(child, ack_seq):
             if m is not None:
                 m.observe("proto.ack_latency_us", self.sim.now - record.sent_at)
             if fr is not None and record.trace_id >= 0:
                 fr.record(
                     self.sim.now, record.trace_id, "ack", self.nic.id,
-                    pkt.uid, record.chunk, {"child": child},
+                    pkt_uid, record.chunk, {"child": child},
                 )
             self.engine._record_completed(group, record)
         if group.timer is not None:
             group.timer.defuse()
+
+    # -- NACK reception -----------------------------------------------------
+    def _handle_mcast_nack(self, pkt: Packet, _buf: Any) -> Generator:
+        """A child reported gaps: apply its piggybacked cumulative ack,
+        then hand the gap list to the group's sender engine."""
+        cpu = self.nic.cpu
+        ev = cpu.use_fast(self.cost.nic_ack_processing)
+        if ev is None:
+            yield from cpu.use(self.cost.nic_ack_processing)
+        else:
+            yield ev
+        h = pkt.header
+        group = self.table.get(h.group)
+        if group is None:
+            return
+        child = h.src
+        if child not in group.child_acked:
+            return  # not one of ours
+        if h.ack_seq > group.child_acked[child]:
+            self._apply_child_ack(group, child, h.ack_seq, pkt.uid)
+        yield from self.sender_engine(group).on_nack(group, pkt)
 
     def send_group_ack(self, group: "GroupState") -> Generator:
         """Acknowledge the group's current receive seq to the parent."""
@@ -156,14 +222,46 @@ class McastReliability:
             group=group.group_id,
         )
 
+    def send_nack(self, group: "GroupState", gaps: list[int]) -> Generator:
+        """Report *gaps* to the parent (with the cumulative ack
+        piggybacked in ``ack_seq``) at ack priority."""
+        assert group.parent is not None
+        nic, cost = self.nic, self.cost
+        ev = nic.cpu.use_fast(cost.nic_ack_generation)
+        if ev is None:
+            yield from nic.cpu.use(cost.nic_ack_generation)
+        else:
+            yield ev
+        pkt = make_packet(
+            PacketType.MCAST_NACK, nic.id, group.parent, nic.id,
+            port=group.port_num,
+            from_port=group.port_num,
+            ack_seq=group.recv_seq,
+            group=group.group_id,
+        )
+        pkt.header.info["gaps"] = list(gaps)
+        self.sim.record(
+            nic.name, "mcast_nack", group=group.group_id, gaps=list(gaps),
+        )
+        nic.queue_tx(PacketDescriptor(pkt), TX_PRIO_ACK)
+
+    def inject_data(self, pkt: Packet) -> Generator:
+        """Feed a locally reconstructed data packet (FEC repair) back
+        through the ordinary receive path — sequencing, acks, forwarding
+        and host delivery behave exactly as for a wire arrival."""
+        yield from self.engine.forwarding._handle_mcast_data(pkt, None)
+
     # -- timers -----------------------------------------------------------------
     def arm(self, group: "GroupState", record: McastRecord) -> None:
         """(Re)start *record*'s retransmission clock on its group's timer."""
         timer = group.timer
         if timer is None:
+            timeout = self.sender_engine(group).fallback_timeout(
+                group, self.cost
+            )
             timer = group.timer = RetransmitTimer(
                 self.sim,
-                self.cost.ack_timeout,
+                timeout,
                 group.window,
                 lambda record, group=group: self._expired(group, record),
             )
@@ -172,6 +270,9 @@ class McastReliability:
     def _expired(self, group: "GroupState", record: McastRecord) -> None:
         """The group's oldest unacked record timed out: start the
         selective Go-back-N sweep toward the laggard children."""
+        m = self.sim.metrics
+        if m is not None:
+            m.inc("proto.retransmit_timeouts")
         self.sim.record(
             self.nic.name, "mcast_timeout", group=group.group_id,
             seq=record.seq, unacked=sorted(record.unacked),
@@ -198,12 +299,14 @@ class McastReliability:
         """
         hi = group.next_send_seq - 1 if group.is_root else group.recv_seq
         m = self.sim.metrics
+        sender = self.sender_engine(group)
         for seq in range(1, hi + 1):
-            record = group.window.get(seq)
+            # Through the engine interface: the family may regenerate a
+            # retired record (or veto the replay) rather than this code
+            # reaching into the SendWindow directly.
+            record = sender.record_for_replay(group, seq)
             if record is None:
-                record = self._regenerate_record(group, seq)
-                if record is None:
-                    continue
+                continue
             for child in added:
                 if group.child_acked.get(child, 0) >= seq:
                     continue
@@ -211,11 +314,11 @@ class McastReliability:
                 self.arm(group, record)
                 if m is not None:
                     m.inc("mcast.recovery.replays")
-                yield from self._retransmit_packet(
+                yield from self.retransmit(
                     group, record, child, replay=True
                 )
 
-    def _regenerate_record(
+    def regenerate_record(
         self, group: "GroupState", seq: int
     ) -> McastRecord | None:
         """Rebuild a retired send record for *seq* from message metadata.
@@ -253,7 +356,7 @@ class McastReliability:
             held.pending_records += 1
         return record
 
-    def _retransmit_packet(
+    def retransmit(
         self, group: "GroupState", record: McastRecord, child: int,
         replay: bool = False,
     ) -> Generator:
@@ -269,6 +372,11 @@ class McastReliability:
         yield from self.nic.dma(record.payload + GM_HEADER_BYTES)
         yield from self.nic.processing(self.cost.nic_per_packet_send)
         record.sent_at = self.sim.now
+        m = self.sim.metrics
+        if m is not None:
+            # Uniform across reliability families: every repair/replay
+            # packet emission (timer resend, NACK repair, resync).
+            m.inc("mcast.retransmit_packets")
         pkt = self.engine._build_mcast_packet(group, record, child)
         self.sim.record(
             self.nic.name, "mcast_retransmit", group=group.group_id,

@@ -62,6 +62,12 @@ __all__ = [
 class BoundScheme:
     """One multicast scheme bound to one cluster and one spanning tree."""
 
+    #: optional :class:`repro.scenario.spec.ReliabilitySpec` (duck-typed:
+    #: anything with ``.family`` and ``.params()``) attached by the
+    #: harness before ``install()``.  Only NIC-based schemes honour it;
+    #: the baselines ride GM unicast reliability and ignore it.
+    reliability = None
+
     def __init__(
         self,
         spec: "SchemeSpec",
@@ -230,6 +236,17 @@ class NicBasedScheme(BoundScheme):
     ``nic_multisend`` variant measured in Fig. 3)."""
 
     group_id: int | None = None
+    #: default reliability engine family (a :mod:`repro.proto.engines`
+    #: registry name); a :attr:`BoundScheme.reliability` spec attached
+    #: by the harness overrides it per run.
+    reliability_family: str = "ack_window"
+
+    def _reliability_config(self) -> tuple[str, dict]:
+        spec = self.reliability
+        if spec is None:
+            return self.reliability_family, {}
+        family = spec.family or self.reliability_family
+        return family, spec.params()
 
     def install(self) -> None:
         from repro.mcast.manager import install_group, next_group_id
@@ -241,7 +258,11 @@ class NicBasedScheme(BoundScheme):
         # table write, so re-installation is harmless.
         if self.group_id is None:
             self.group_id = next_group_id()
-        install_group(self.cluster, self.group_id, self.tree, self.port_num)
+        family, params = self._reliability_config()
+        install_group(
+            self.cluster, self.group_id, self.tree, self.port_num,
+            family=family, params=params,
+        )
 
     def post(self, size: int, info: dict | None = None) -> Generator:
         root = self.tree.root
@@ -396,6 +417,38 @@ register_scheme(SchemeSpec(
     default_tree="flat",
     tree_uses_cost=False,
     cls=NicBasedScheme,
+))
+class NicNackScheme(NicBasedScheme):
+    """NIC-based multicast with receiver-driven NACK reliability:
+    receivers detect gaps and multicast repairs are pulled on demand
+    (see :mod:`repro.proto.engines.nack`)."""
+
+    reliability_family = "nack"
+
+
+class NicNackFecScheme(NicBasedScheme):
+    """NIC-based multicast with NACK + XOR-parity FEC: one loss per
+    parity block reconstructs in place, with NACK repair as fallback
+    (see :mod:`repro.proto.engines.nack_fec`)."""
+
+    reliability_family = "nack_fec"
+
+
+register_scheme(SchemeSpec(
+    key="nic_nack",
+    title="NIC-based multicast, NACK reliability",
+    feature_key="ours",
+    default_tree="optimal",
+    tree_uses_cost=True,
+    cls=NicNackScheme,
+))
+register_scheme(SchemeSpec(
+    key="nic_nack_fec",
+    title="NIC-based multicast, NACK + XOR-FEC reliability",
+    feature_key="ours",
+    default_tree="optimal",
+    tree_uses_cost=True,
+    cls=NicNackFecScheme,
 ))
 register_scheme(SchemeSpec(
     key="host_based",

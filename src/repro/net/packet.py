@@ -39,6 +39,8 @@ class PacketType(Enum):
     ACK = "ack"  #: cumulative acknowledgment
     MCAST_DATA = "mcast_data"  #: multicast data (group id in header)
     MCAST_ACK = "mcast_ack"  #: per-group acknowledgment to parent
+    MCAST_NACK = "mcast_nack"  #: receiver-detected gap report to parent
+    MCAST_FEC = "mcast_fec"  #: XOR parity block over recent data packets
     CREDIT = "credit"  #: credit grant (FM/MC, LFC baselines only)
     CONTROL = "control"  #: miscellaneous small control traffic
 

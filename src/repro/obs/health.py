@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ObservedRun",
     "run_observed",
+    "reliability_section",
     "resilience_section",
     "serving_section",
     "build_health_report",
@@ -82,6 +83,37 @@ RESILIENCE_COUNTERS = (
     "mcast.recovery.replays",
     "mcast.recovery.replay_kicks",
 )
+
+
+#: Counters folded into the reliability section (NACK/FEC engine runs).
+RELIABILITY_COUNTERS = (
+    "proto.nack_sent",
+    "proto.nack_repairs",
+    "proto.nack_suppressed",
+    "proto.fec_parity_sent",
+    "proto.fec_repairs",
+    "proto.fec_insufficient",
+    "proto.retransmit_timeouts",
+    "mcast.retransmit_packets",
+)
+
+
+def reliability_section(registry: MetricsRegistry) -> dict[str, Any] | None:
+    """The reliability-engine section of a health report.
+
+    Built from the ``proto.nack_*`` / ``proto.fec_*`` instruments the
+    :mod:`repro.proto.engines` families feed; returns ``None`` when the
+    observed run used only the ack-window family and no retransmit
+    timer fired, so prior reports keep their exact shape.
+    """
+    names = registry.names()
+    if not any(
+        name.startswith(("proto.nack_", "proto.fec_"))
+        or name == "proto.retransmit_timeouts"
+        for name in names
+    ):
+        return None
+    return {name: registry.value(name) for name in RELIABILITY_COUNTERS}
 
 
 def resilience_section(registry: MetricsRegistry) -> dict[str, Any] | None:
@@ -252,6 +284,9 @@ def _scheme_report(run: ObservedRun) -> dict[str, Any]:
     resilience = resilience_section(reg)
     if resilience is not None:
         report["resilience"] = resilience
+    reliability = reliability_section(reg)
+    if reliability is not None:
+        report["reliability"] = reliability
     return report
 
 

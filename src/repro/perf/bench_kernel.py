@@ -271,6 +271,7 @@ def run_bench(
 ) -> dict[str, Any]:
     """Run the full benchmark and return the report dict."""
     from repro.perf.bench_parallel import bench_parallel
+    from repro.perf.bench_reliability import bench_reliability
     from repro.perf.bench_resilience import bench_resilience
     from repro.perf.bench_serving import (
         bench_serving,
@@ -293,6 +294,9 @@ def run_bench(
         "telemetry": bench_telemetry_overhead(repeats=3, smoke=smoke),
         # report-only (simulated-time recovery characteristics, no gate)
         "resilience": bench_resilience(),
+        # report-only (reliability-family repair costs on a pinned
+        # lossy fixture; fig9 carries the gated claims)
+        "reliability": bench_reliability(),
         "figures": {},
     }
     for figure_id in figures:

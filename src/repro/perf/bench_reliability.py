@@ -1,0 +1,82 @@
+"""Reliability-family benchmark: the engine families on a pinned lossy
+fixture.
+
+One pinned workload — a 32-node Clos, one 16 KiB broadcast over the
+binomial tree, 2% Bernoulli loss on multicast data packets, seed 4 —
+run once per registered-scheme reliability family (the paper's
+ACK-window Go-back-N, receiver-driven NACK, NACK+FEC).  Per family the
+report carries completion latency, repair *round trips* (timeouts +
+NACKs — the cost FEC's local reconstruction removes), repair packets
+emitted, and the family-specific counters (suppressed NACKs, parity
+sent, local reconstructions).  Results land in the ``reliability``
+section of ``BENCH_kernel.json``.
+
+Report-only: the simulator is deterministic, so these are simulated
+microseconds, not wall-clock — they characterize the recovery designs
+(CI gates the families through ``fig9``'s delivery and round-trip
+checks, not through this section).  The full sweep is
+``python -m repro.experiments --figure fig9``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.gm.params import GMCostModel
+from repro.net.fault import LossSpec
+from repro.obs.registry import MetricsRegistry
+from repro.scenario import broadcast_point, run_spec
+
+__all__ = ["bench_reliability", "NODES", "SIZE", "LOSS_RATE", "SEED"]
+
+NODES = 32
+SIZE = 16384
+LOSS_RATE = 0.02
+SEED = 4
+SCHEMES = ("nic_based", "nic_nack", "nic_nack_fec")
+
+
+def bench_reliability() -> dict[str, Any]:
+    """Completion and repair-cost counters per family on the fixture."""
+    report: dict[str, Any] = {
+        "fixture": (
+            f"{NODES}-node clos, {SIZE}B broadcast, binomial tree, "
+            f"{LOSS_RATE:.0%} bernoulli data loss, seed {SEED}"
+        ),
+        "schemes": {},
+    }
+    members = list(range(1, NODES))
+    for scheme in SCHEMES:
+        spec = broadcast_point(
+            NODES, SIZE, scheme,
+            seed=SEED,
+            tree_shape="binomial",
+            loss=LossSpec(
+                kind="bernoulli", rate=LOSS_RATE,
+                packet_types=("MCAST_DATA",),
+            ),
+            cost=GMCostModel(),
+            name=f"bench_reliability[{scheme}]",
+        )
+        registry = MetricsRegistry()
+        point = run_spec(spec, registry=registry).value(SIZE)
+        timeouts = registry.value("proto.retransmit_timeouts", 0)
+        nacks = registry.value("proto.nack_sent", 0)
+        report["schemes"][scheme] = {
+            "delivered": len(point.deliveries),
+            "expected": len(members),
+            "completion_us": round(point.completion_us, 3),
+            # The round trips a family needed: ACK-window pays timer
+            # expiries, the NACK families pay NACKs; FEC's local
+            # reconstructions appear in neither.
+            "repair_round_trips": timeouts + nacks,
+            "repair_packets": registry.value(
+                "mcast.retransmit_packets", 0
+            ),
+            "retransmit_timeouts": timeouts,
+            "nack_sent": nacks,
+            "nack_suppressed": registry.value("proto.nack_suppressed", 0),
+            "fec_parity_sent": registry.value("proto.fec_parity_sent", 0),
+            "fec_repairs": registry.value("proto.fec_repairs", 0),
+        }
+    return report

@@ -39,15 +39,22 @@ class KernelCounters:
         fires that found nothing overdue (every record acked or
         re-armed since scheduling) — pure heap churn;
     ``timers_cancelled``
-        outstanding timers defused (window drained before the fire) —
-        Kernel v3 removes these pops entirely.
+        outstanding timers defused (window drained before the fire).
+        A defused timer costs no event dispatch, but its disposal is
+        split across two kernel counters: one cancelled while still in
+        the wheel is dropped at flush (``wheel_cancelled``); one whose
+        slot already flushed to the heap — or that bypassed the wheel
+        because it was due within one slot — is skipped at pop
+        (``wheel_skipped``).  Once the queue drains,
+        ``timers_cancelled == wheel_cancelled + wheel_skipped``.
 
     The ``batched_events`` / ``wheel_*`` counters are maintained by the
     Kernel v3 engine itself: ``batched_events`` counts events that rode
     the same-instant now-queue instead of the heap; ``wheel_armed`` /
     ``wheel_flushed`` / ``wheel_cancelled`` count timers entering the
     hierarchical wheel, reaching the heap live, and being dropped in
-    the wheel after cancellation.
+    the wheel after cancellation; ``wheel_skipped`` counts cancelled
+    handles discarded at heap pop without dispatching an event.
     """
 
     __slots__ = (
@@ -62,6 +69,7 @@ class KernelCounters:
         "wheel_armed",
         "wheel_flushed",
         "wheel_cancelled",
+        "wheel_skipped",
     )
 
     def __init__(self) -> None:
@@ -79,6 +87,7 @@ class KernelCounters:
         self.wheel_armed = 0
         self.wheel_flushed = 0
         self.wheel_cancelled = 0
+        self.wheel_skipped = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}

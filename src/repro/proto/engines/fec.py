@@ -1,0 +1,76 @@
+"""XOR parity codec over k-packet blocks (the ``nack_fec`` repair math).
+
+One parity fragment per block of up to *k* data fragments; any single
+erased fragment is reconstructed from the parity and the k-1 survivors.
+Fragments may have different lengths (the final fragment of a message is
+usually short), so each fragment is encoded as a 4-byte big-endian
+length prefix followed by its bytes, zero-padded to the block's widest
+encoded fragment; the parity is the byte-wise XOR of those encodings.
+Decoding XORs the parity with the surviving encodings, reads the length
+prefix back, and truncates — recovering the erased fragment's exact
+bytes *and* exact length.
+
+The simulation carries payload *sizes*, not payload bytes, so the
+in-sim repair in :mod:`repro.proto.engines.nack_fec` is structural (the
+parity packet names its block members); this module is the byte-level
+ground truth that the property-test suite checks the scheme against.
+"""
+
+from __future__ import annotations
+
+__all__ = ["encode_parity", "recover_fragment"]
+
+_LEN_PREFIX = 4
+_MAX_FRAGMENT = (1 << (8 * _LEN_PREFIX)) - 1
+
+
+def _encoded(fragment: bytes, width: int) -> bytes:
+    pad = width - _LEN_PREFIX - len(fragment)
+    return len(fragment).to_bytes(_LEN_PREFIX, "big") + fragment + b"\x00" * pad
+
+
+def _xor_into(acc: bytearray, other: bytes) -> None:
+    for i, b in enumerate(other):
+        acc[i] ^= b
+
+
+def encode_parity(fragments: list[bytes]) -> bytes:
+    """The parity block protecting *fragments* (one erasure per block)."""
+    if not fragments:
+        raise ValueError("parity needs at least one fragment")
+    for frag in fragments:
+        if len(frag) > _MAX_FRAGMENT:
+            raise ValueError(
+                f"fragment of {len(frag)} bytes exceeds the "
+                f"{_LEN_PREFIX}-byte length prefix"
+            )
+    width = _LEN_PREFIX + max(len(f) for f in fragments)
+    parity = bytearray(width)
+    for frag in fragments:
+        _xor_into(parity, _encoded(frag, width))
+    return bytes(parity)
+
+
+def recover_fragment(parity: bytes, survivors: list[bytes]) -> bytes:
+    """Reconstruct the one erased fragment of a block.
+
+    *survivors* are the block's other fragments, in any order; *parity*
+    is the block's :func:`encode_parity` output.  Returns the erased
+    fragment's exact bytes.
+    """
+    width = len(parity)
+    acc = bytearray(parity)
+    for frag in survivors:
+        if _LEN_PREFIX + len(frag) > width:
+            raise ValueError(
+                f"survivor of {len(frag)} bytes does not fit a "
+                f"{width}-byte parity block"
+            )
+        _xor_into(acc, _encoded(frag, width))
+    length = int.from_bytes(acc[:_LEN_PREFIX], "big")
+    if length > width - _LEN_PREFIX:
+        raise ValueError(
+            f"recovered length {length} exceeds the parity block — "
+            "wrong survivors or more than one erasure"
+        )
+    return bytes(acc[_LEN_PREFIX:_LEN_PREFIX + length])

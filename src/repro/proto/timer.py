@@ -28,8 +28,15 @@ outstanding heap callback per window**:
   window is the defusing;
 * with Kernel v3 the outstanding callback is a cancellable wheel timer
   (:meth:`~repro.sim.engine.Simulator.schedule_timer`): when an ack
-  drains the window, :meth:`RetransmitTimer.defuse` cancels it in O(1),
-  so the would-be stale pop never reaches the event loop at all.
+  drains the window, :meth:`RetransmitTimer.defuse` cancels it in O(1).
+  A handle cancelled while still bucketed in the wheel is dropped at
+  flush time (``wheel_cancelled``) and never reaches the heap; one whose
+  slot has already flushed — the ack landed inside the final wheel slot
+  before the deadline — still pops, but is discarded without dispatching
+  an event (``wheel_skipped``).  Either way the defuse is one
+  ``timers_cancelled`` and zero stale fires:
+  ``timers_cancelled == wheel_cancelled + wheel_skipped`` once the
+  queue drains.
 
 The observable schedule is unchanged by construction: a real timeout
 still fires at ``last_arm + timeout`` of the oldest unacked record, and

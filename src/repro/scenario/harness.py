@@ -319,6 +319,7 @@ class Harness:
         else:
             tree = build_tree(spec.workload.root, dests, shape=shape)
         bound = scheme_spec.cls(scheme_spec, cluster, tree)
+        bound.reliability = spec.reliability
         bound.install()
 
         def root() -> Generator:
@@ -374,6 +375,7 @@ class Harness:
         else:
             tree = build_tree(spec.workload.root, dests, shape=shape)
         bound = scheme_spec.cls(scheme_spec, cluster, tree)
+        bound.reliability = spec.reliability
         bound.install()
 
         def root() -> Generator:

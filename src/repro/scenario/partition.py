@@ -209,6 +209,7 @@ class _PointShard:
             tree = build_tree(spec.workload.root, dests, shape=shape)
         bound = scheme_spec.cls(scheme_spec, cluster, tree)
         bound.group_id = PINNED_GROUP_ID
+        bound.reliability = spec.reliability
         bound.install()
 
         def root() -> Generator:

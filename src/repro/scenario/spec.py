@@ -29,6 +29,7 @@ from repro.errors import ConfigError
 from repro.gm.params import GMCostModel
 from repro.mcast.schemes import BoundScheme, get_scheme, resolve_scheme
 from repro.net.failure import FailureSpec
+from repro.net.fault import LossSpec
 from repro.trees import TREE_SHAPES
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "TelemetrySpec",
     "TrafficSpec",
     "PartitionSpec",
+    "ReliabilitySpec",
     "PARTITIONABLE_KINDS",
     "ARRIVAL_KINDS",
     "WORKLOAD_KINDS",
@@ -509,6 +511,96 @@ class PartitionSpec:
         return cls(**data)
 
 
+#: Workload kinds that drive the multicast reliability stack (a
+#: ``reliability`` section is meaningless for unicast / MPI kinds).
+_RELIABILITY_KINDS = ("multisend", "multicast", "serving", "broadcast")
+
+
+@dataclass(frozen=True)
+class ReliabilitySpec:
+    """Reliability-engine selection riding on a scenario.
+
+    ``family`` names a :mod:`repro.proto.engines` registry entry
+    (``ack_window``, ``nack``, ``nack_fec``); ``None`` keeps the bound
+    scheme's default (``nic_based`` defaults to ``ack_window``,
+    ``nic_nack``/``nic_nack_fec`` to their namesakes).  The knobs
+    override the family's defaults where set; ``None`` means "engine
+    default" and is not forwarded, so a spec with only ``family`` set
+    is byte-identical to selecting the scheme variant directly.
+    """
+
+    family: str | None = None
+    #: NACK families: fixed delay before a gap NACK fires (µs)
+    nack_delay_us: float | None = None
+    #: NACK families: uniform jitter added to the delay (µs; seeded)
+    nack_jitter_us: float | None = None
+    #: NACK families: sender ignores re-NACKs for a seq this soon after
+    #: repairing it (µs)
+    repair_suppression_us: float | None = None
+    #: NACK families: fallback Go-back-N timeout, as a multiple of the
+    #: cost model's ``ack_timeout``
+    fallback_timeout_scale: float | None = None
+    #: NACK families: tail gaps are overdue after this many observed
+    #: inter-arrival gaps of silence
+    tail_spacing_factor: float | None = None
+    #: NACK families: extra suppression delay per hop of tree depth
+    #: below the first non-root level (µs)
+    depth_scale_us: float | None = None
+    #: NACK+FEC: data packets per XOR parity block
+    fec_block: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.family is not None:
+            # Scenario may import proto (see tools/check_layering.py);
+            # validate eagerly so a typo fails at spec build time.
+            from repro.proto.engines import available_engines
+
+            if self.family not in available_engines():
+                raise ConfigError(
+                    f"unknown reliability family {self.family!r}; "
+                    f"pick one of {', '.join(available_engines())}"
+                )
+        for knob in (
+            "nack_delay_us", "nack_jitter_us", "repair_suppression_us",
+            "fallback_timeout_scale", "tail_spacing_factor",
+            "depth_scale_us",
+        ):
+            value = getattr(self, knob)
+            if value is not None and value < 0:
+                raise ConfigError(f"{knob} must be >= 0, got {value}")
+        if self.fallback_timeout_scale == 0:
+            raise ConfigError("fallback_timeout_scale must be > 0")
+        if self.fec_block is not None and (
+            not isinstance(self.fec_block, int) or self.fec_block < 1
+        ):
+            raise ConfigError(
+                f"fec_block must be an int >= 1, got {self.fec_block}"
+            )
+
+    def params(self) -> dict[str, Any]:
+        """The non-default knobs, as engine parameter overrides."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            if f.name == "family":
+                continue
+            value = getattr(self, f.name)
+            if value is not None:
+                out[f.name] = value
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.family is not None:
+            out["family"] = self.family
+        out.update(self.params())
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReliabilitySpec":
+        _unknown_keys(data, cls, "reliability spec")
+        return cls(**data)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, serializable experiment scenario."""
@@ -518,6 +610,7 @@ class ScenarioSpec:
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     traffic: TrafficSpec | None = None
     partition: PartitionSpec | None = None
+    reliability: ReliabilitySpec | None = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -555,6 +648,14 @@ class ScenarioSpec:
         elif self.traffic is not None:
             raise ConfigError(
                 "a 'traffic' section requires workload kind 'serving'"
+            )
+        if (
+            self.reliability is not None
+            and w.kind not in _RELIABILITY_KINDS
+        ):
+            raise ConfigError(
+                f"a 'reliability' section requires a multicast workload "
+                f"kind ({', '.join(_RELIABILITY_KINDS)}), got {w.kind!r}"
             )
         p = self.partition
         if p is not None:
@@ -602,6 +703,8 @@ class ScenarioSpec:
             out["traffic"] = self.traffic.to_dict()
         if self.partition is not None:
             out["partition"] = self.partition.to_dict()
+        if self.reliability is not None:
+            out["reliability"] = self.reliability.to_dict()
         return out
 
     @classmethod
@@ -622,6 +725,10 @@ class ScenarioSpec:
             kwargs["traffic"] = TrafficSpec.from_dict(data["traffic"])
         if data.get("partition") is not None:
             kwargs["partition"] = PartitionSpec.from_dict(data["partition"])
+        if data.get("reliability") is not None:
+            kwargs["reliability"] = ReliabilitySpec.from_dict(
+                data["reliability"]
+            )
         if "name" in data:
             kwargs["name"] = data["name"]
         return cls(**kwargs)
@@ -735,12 +842,15 @@ def broadcast_point(
     topology: str = "clos",
     clos_radix: int = 16,
     failures: FailureSpec | None = None,
+    loss: LossSpec | None = None,
+    reliability: ReliabilitySpec | None = None,
     name: str = "",
 ) -> ScenarioSpec:
-    """Fig. 8 shape: one one-shot broadcast, optionally with failures
-    injected mid-flight.  Completion time = root post to the last
-    member's host delivery; per-destination delivery times ride along so
-    the 100%-delivery check is verifiable, not assumed."""
+    """Fig. 8/9 shape: one one-shot broadcast, optionally with failures
+    injected mid-flight or a declarative loss model.  Completion time =
+    root post to the last member's host delivery; per-destination
+    delivery times ride along so the 100%-delivery check is verifiable,
+    not assumed."""
     return ScenarioSpec(
         workload=WorkloadSpec(
             kind="broadcast", scheme=scheme, tree_shape=tree_shape
@@ -752,8 +862,10 @@ def broadcast_point(
             topology=topology,
             clos_radix=clos_radix,
             failures=failures,
+            loss=loss,
         ),
         measurement=MeasurementSpec(sizes=(size,), iterations=1, warmup=0),
+        reliability=reliability,
         name=name,
     )
 

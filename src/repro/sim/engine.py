@@ -23,7 +23,8 @@ Kernel v3 adds two structures around the heap:
   level-0 slots, 4096 µs level-1 slots, an overflow list beyond) and are
   only flushed onto the heap when the clock approaches their slot.  A
   timer cancelled while still in the wheel never touches the heap at
-  all; one cancelled after flushing is skipped at pop.  Entries keep the
+  all (counted ``wheel_cancelled``); one cancelled after flushing is
+  skipped at pop (counted ``wheel_skipped``).  Entries keep the
   ``(when, priority, seq)`` key assigned when armed, so flushing
   reproduces exactly the order direct heap scheduling would have given.
 """
@@ -235,6 +236,7 @@ class Simulator:
             entry = heap[0]
             if entry[3].__class__ is _TimerHandle and entry[3].cancelled:
                 heapq.heappop(heap)
+                KERNEL_COUNTERS.wheel_skipped += 1
                 continue
             return entry[0]
         return _INF
@@ -492,6 +494,7 @@ class Simulator:
                 fn()
                 return
             if event.cancelled:  # defused _TimerHandle: skip, no event
+                KERNEL_COUNTERS.wheel_skipped += 1
                 continue
             self.events_processed += 1
             KERNEL_COUNTERS.events += 1
@@ -522,6 +525,7 @@ class Simulator:
         freelist = self._cb_freelist
         n = 0
         nb = 0
+        ns = 0
         now_val = self._now
 
         if until is None:
@@ -576,10 +580,15 @@ class Simulator:
                     elif not event.cancelled:
                         n += 1
                         event.fn()
+                    else:
+                        # Defused _TimerHandle that had already flushed
+                        # (or bypassed) the wheel: discard, no dispatch.
+                        ns += 1
             finally:
                 self.events_processed += n
                 KERNEL_COUNTERS.events += n
                 KERNEL_COUNTERS.batched_events += nb
+                KERNEL_COUNTERS.wheel_skipped += ns
             return None
 
         if isinstance(until, SimEvent):
@@ -637,10 +646,15 @@ class Simulator:
                     elif not event.cancelled:
                         n += 1
                         event.fn()
+                    else:
+                        # Defused _TimerHandle that had already flushed
+                        # (or bypassed) the wheel: discard, no dispatch.
+                        ns += 1
             finally:
                 self.events_processed += n
                 KERNEL_COUNTERS.events += n
                 KERNEL_COUNTERS.batched_events += nb
+                KERNEL_COUNTERS.wheel_skipped += ns
             if not stop.ok:
                 raise stop.value
             return stop.value
@@ -687,6 +701,7 @@ class Simulator:
         strict = not inclusive
         n = 0
         nb = 0
+        ns = 0
         now_val = self._now
         try:
             while True:
@@ -735,7 +750,12 @@ class Simulator:
                 elif not event.cancelled:
                     n += 1
                     event.fn()
+                else:
+                    # Defused _TimerHandle that had already flushed
+                    # (or bypassed) the wheel: discard, no dispatch.
+                    ns += 1
         finally:
             self.events_processed += n
             KERNEL_COUNTERS.events += n
             KERNEL_COUNTERS.batched_events += nb
+            KERNEL_COUNTERS.wheel_skipped += ns

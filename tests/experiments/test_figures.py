@@ -7,7 +7,7 @@ from repro.experiments.cli import main, run_figure
 
 
 def test_figures_registry_complete():
-    assert set(FIGURES) == {f"fig{i}" for i in range(1, 9)}
+    assert set(FIGURES) == {f"fig{i}" for i in range(1, 10)}
 
 
 def test_fig1_runs():

@@ -96,6 +96,61 @@ def test_real_timeout_still_fires_after_storm():
     assert KERNEL_COUNTERS.timer_stale_fires == 0
 
 
+def test_defuse_after_wheel_flush_counts_skip_not_double_cancel():
+    """Rearm-after-cancel when the ack lands inside the final wheel slot.
+
+    With a 400 µs timeout the deadline's level-0 slot (width 64 µs)
+    flushes at 384 µs — an ack at 399 µs defuses a handle that is
+    already live in the heap.  The defuse is still one
+    ``timers_cancelled`` and zero stale fires, but the handle's disposal
+    must land in ``wheel_skipped`` (discarded at pop), not be
+    double-booked as both ``wheel_flushed`` *and* an invisible cancel:
+    ``timers_cancelled == wheel_cancelled + wheel_skipped`` holds once
+    the queue drains.
+    """
+    sim = Simulator()
+    window = SendWindow()
+    expired = []
+    timer = RetransmitTimer(sim, 400.0, window, expired.append)
+
+    def driver():
+        first = _Record(1)
+        window.add(first)
+        timer.arm(first)  # deadline 400, slot flushes at 384
+        yield sim.timeout(399.0)
+        window.pop(first.seq)
+        timer.defuse()  # handle already flushed to the heap
+        # Rearm-after-cancel: a fresh record straight away, acked well
+        # before its deadline so this cancel dies inside the wheel.
+        second = _Record(2)
+        window.add(second)
+        timer.arm(second)
+        yield sim.timeout(10.0)
+        window.pop(second.seq)
+        timer.defuse()
+
+    KERNEL_COUNTERS.reset()
+    sim.process(driver())
+    sim.run()
+    snap = KERNEL_COUNTERS.snapshot()
+
+    assert expired == []
+    assert snap["timer_fires"] == 0
+    assert snap["timer_stale_fires"] == 0
+    assert snap["timers_cancelled"] == 2
+    # First defuse: slot had flushed, the pop is skipped without
+    # dispatch.  Second defuse: dropped inside the wheel at flush.
+    assert snap["wheel_skipped"] == 1
+    assert snap["wheel_cancelled"] == 1
+    assert snap["timers_cancelled"] == (
+        snap["wheel_cancelled"] + snap["wheel_skipped"]
+    )
+    # Every wheel entry is accounted for exactly once.
+    assert snap["wheel_armed"] == (
+        snap["wheel_flushed"] + snap["wheel_cancelled"]
+    )
+
+
 def test_defuse_is_a_noop_with_records_outstanding():
     sim = Simulator()
     window = SendWindow()

@@ -9,6 +9,14 @@ Three rules are load-bearing enough to gate CI on:
 * ``repro.proto`` is the transport-agnostic reliability core: it sits
   below the protocol engines and must never import ``repro.gm`` or
   ``repro.mcast`` (nor anything above them);
+* ``repro.proto.engines`` (the pluggable reliability families) gets the
+  same bound pinned *explicitly*: engine senders/receivers serve the
+  ``repro.gm`` and ``repro.mcast`` transports and are therefore the
+  modules most tempted to import their types — they must talk to
+  transports only through the duck-typed transport surface
+  (``self.transport``), never by importing ``repro.gm``/``repro.mcast``
+  back.  A future widening of the ``proto`` entry cannot silently
+  widen this one;
 * ``repro.obs`` is the observation layer on *top*: it may import from
   every layer, but nothing outside ``repro.obs``, ``repro.experiments``,
   and ``repro.perf`` may import it back (instrumented layers reach the
@@ -68,6 +76,21 @@ ALLOWED = {
         "repro.perf",
     ),
     "proto": (
+        "repro.proto",
+        "repro.sim",
+        "repro.net",
+        "repro.nic",
+        "repro.errors",
+        "repro.perf.counters",
+        "repro.perf",
+    ),
+    # Explicit pin for the pluggable reliability engines: their
+    # sender/receiver pairs are *used by* repro.gm and repro.mcast, so a
+    # back-edge import would be an easy mistake and an instant cycle.
+    # Engines reach the transport only through the duck-typed
+    # ``self.transport`` surface; this entry keeps that true even if the
+    # parent ``proto`` entry is ever widened.
+    "proto/engines": (
         "repro.proto",
         "repro.sim",
         "repro.net",
